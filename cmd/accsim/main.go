@@ -1,0 +1,68 @@
+// Command accsim regenerates the paper's tables and figures from the
+// simulator.
+//
+// Usage:
+//
+//	accsim -list                   # show available experiments
+//	accsim -exp fig7               # run one experiment
+//	accsim -exp all                # run everything
+//	accsim -exp fig12 -scale 4     # paper-scale fabric/durations
+//	accsim -exp fig9 -csv          # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/accnet/acc/internal/exp"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments")
+		expID    = flag.String("exp", "", "experiment id (or 'all')")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		scale    = flag.Float64("scale", 1, "duration/fabric scale factor (>=4 restores paper-scale fabrics)")
+		episodes = flag.Int("episodes", 0, "offline pre-training episodes for ACC policies (0 = default)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("available experiments:")
+		for _, e := range exp.List() {
+			fmt.Printf("  %-18s %s\n", e[0], e[1])
+		}
+		if *expID == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := exp.Options{Seed: *seed, Scale: *scale, OfflineEpisodes: *episodes}
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = ids[:0]
+		for _, e := range exp.List() {
+			ids = append(ids, e[0])
+		}
+	}
+	for _, id := range ids {
+		t0 := time.Now()
+		tables, err := exp.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "accsim:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Println(t)
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,71 @@
+// Fairness example: RDMA (DCQCN) and TCP (DCTCP/Reno) sharing a switch,
+// isolated into traffic classes by DWRR with a 70/30 split (§5.2). Shows
+// how the measured share tracks the allocation and how the RDMA-queue ECN
+// threshold affects it.
+//
+//	go run ./examples/fairness
+package main
+
+import (
+	"fmt"
+
+	"github.com/accnet/acc/internal/dcqcn"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/red"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/tcp"
+	"github.com/accnet/acc/internal/topo"
+)
+
+func run(rdmaRED red.Config) (rdmaShare float64) {
+	net := netsim.New(3)
+	cfg := topo.DefaultConfig()
+	cfg.HostBW = 100 * simtime.Gbps
+	cfg.FabricBW = 100 * simtime.Gbps
+	weights := make([]int, netsim.NumPrio)
+	weights[0], weights[3] = 3, 7 // TCP 30%, RDMA 70%
+	cfg.QueueWeights = weights
+	fab := topo.Star(net, 8, cfg)
+	recv := fab.Hosts[7]
+
+	// Program the RDMA class's ECN template on every port.
+	for _, p := range fab.Leaves[0].Ports {
+		p.Queue(3).RED = rdmaRED
+	}
+
+	rdmaParams := dcqcn.DefaultParams(100 * simtime.Gbps)
+	tcpParams := tcp.DefaultParams()
+	for i := 0; i < 4; i++ {
+		src := fab.Hosts[i]
+		var rloop func(*dcqcn.Flow)
+		rloop = func(*dcqcn.Flow) { dcqcn.Start(net, src, recv, 8*simtime.MB, rdmaParams, rloop) }
+		rloop(nil)
+		var tloop func(*tcp.Flow)
+		tloop = func(*tcp.Flow) { tcp.Start(net, src, recv, 8*simtime.MB, tcpParams, tloop) }
+		tloop(nil)
+	}
+
+	hot := fab.Leaves[0].Ports[7]
+	net.RunUntil(simtime.Time(2 * simtime.Millisecond))
+	r0, t0 := hot.Queue(3).TxBytes, hot.Queue(0).TxBytes
+	net.RunUntil(simtime.Time(12 * simtime.Millisecond))
+	rb := float64(hot.Queue(3).TxBytes - r0)
+	tb := float64(hot.Queue(0).TxBytes - t0)
+	return rb / (rb + tb)
+}
+
+func main() {
+	fmt.Println("RDMA/TCP coexistence on a 100G switch, DWRR 70/30 (4 senders each class)")
+	fmt.Printf("%-40s %12s\n", "RDMA-class ECN template", "RDMA share")
+	for _, c := range []red.Config{
+		{Kmin: 5 * simtime.KB, Kmax: 200 * simtime.KB, Pmax: 0.01}, // SECN1: aggressive
+		{Kmin: 100 * simtime.KB, Kmax: 400 * simtime.KB, Pmax: 1},  // SECN2
+		{Kmin: 1 * simtime.MB, Kmax: 8 * simtime.MB, Pmax: 0.1},    // deep: protects RDMA share
+	} {
+		fmt.Printf("%-40s %11.1f%%\n", c.String(), run(c)*100)
+	}
+	fmt.Println("\ntarget RDMA share is 70%: TCP's slower ACK-clocked control loop grabs buffer and")
+	fmt.Println("bandwidth beyond its allocation while DCQCN backs off — the unfairness of §5.2.")
+	fmt.Println("Tuning the RDMA-class threshold trades share against queueing delay; ACC automates")
+	fmt.Println("that tradeoff (see accsim -exp fig8)")
+}

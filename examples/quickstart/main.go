@@ -1,0 +1,64 @@
+// Quickstart: build a leaf-spine RDMA fabric, run an incast under a static
+// ECN setting and under ACC, and compare flow completion times.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"github.com/accnet/acc/internal/acc"
+	"github.com/accnet/acc/internal/dcqcn"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/red"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/stats"
+	"github.com/accnet/acc/internal/topo"
+)
+
+func main() {
+	for _, useACC := range []bool{false, true} {
+		// 1. A deterministic simulation: same seed, same run.
+		net := netsim.New(42)
+
+		// 2. Two-tier Clos: 2 leaves x 4 hosts, 2 spines, 25G hosts.
+		fab := topo.LeafSpine(net, 2, 4, 2, topo.DefaultConfig())
+
+		// 3. Policy: static DCQCN-paper ECN setting, or ACC tuners that
+		//    learn the threshold online on every switch.
+		label := "static SECN1"
+		if useACC {
+			label = "ACC"
+			acc.NewSystem(net, fab.Switches(), nil, acc.DefaultSystemConfig())
+		} else {
+			for _, sw := range fab.Switches() {
+				sw.SetRED(red.SECN1())
+			}
+		}
+
+		// 4. Workload: 7:1 cross-fabric incast of 1MB RDMA messages,
+		//    renewed continuously for 20ms of virtual time.
+		var col stats.FCTCollector
+		params := dcqcn.DefaultParams(25 * simtime.Gbps)
+		recv := fab.HostsAt[0][0]
+		senders := append(append([]*netsim.Host{}, fab.HostsAt[0][1:]...), fab.HostsAt[1]...)
+		for _, src := range senders {
+			src := src
+			var loop func(*dcqcn.Flow)
+			loop = func(f *dcqcn.Flow) {
+				if f != nil {
+					col.AddFlow(f.Size, f.Start, f.End, "rdma")
+				}
+				dcqcn.Start(net, src, recv, simtime.MB, params, loop)
+			}
+			loop(nil)
+		}
+		net.RunUntil(simtime.Time(20 * simtime.Millisecond))
+
+		// 5. Results.
+		s := stats.Summarize(col.Records)
+		leaf := fab.Leaves[0]
+		fmt.Printf("%-12s  flows=%-4d avg FCT=%-10v p99 FCT=%-10v marks=%-6d drops=%d\n",
+			label, s.Count, s.Avg, s.P99, leaf.MarksTotal, leaf.DropsTotal)
+	}
+}

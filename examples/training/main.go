@@ -1,0 +1,64 @@
+// Training example: the paper's §5.3.2 distributed-training benchmark — 7
+// GPU workers and one parameter server exchanging AlexNet/ResNet-50
+// gradients every iteration; training speed depends directly on the
+// network's handling of the synchronized push/pull bursts.
+//
+//	go run ./examples/training
+package main
+
+import (
+	"fmt"
+
+	"github.com/accnet/acc/internal/acc"
+	"github.com/accnet/acc/internal/dcqcn"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/red"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/topo"
+	"github.com/accnet/acc/internal/workload"
+)
+
+func run(model workload.TrainingModel, policy string) (imagesPerSec float64, pauses uint64) {
+	net := netsim.New(11)
+	fab := topo.Star(net, 8, topo.DefaultConfig())
+	switch policy {
+	case "ACC":
+		acc.NewSystem(net, fab.Switches(), nil, acc.DefaultSystemConfig())
+	case "SECN1":
+		fab.Leaves[0].SetRED(red.SECN1())
+	case "SECN2":
+		fab.Leaves[0].SetRED(red.SECN2(25))
+	}
+	params := dcqcn.DefaultParams(25 * simtime.Gbps)
+	job := workload.RunTraining(net, workload.TrainingConfig{
+		Workers:     fab.Hosts[:7],
+		PS:          fab.Hosts[7],
+		Model:       model,
+		ComputeTime: 200 * simtime.Microsecond,
+		ScaleBytes:  100, // shrink transfers so iterations fit in milliseconds
+		Start: func(src, dst *netsim.Host, size int64, onDone func()) {
+			dcqcn.Start(net, src, dst, size, params, func(*dcqcn.Flow) {
+				if onDone != nil {
+					onDone()
+				}
+			})
+		},
+	})
+	net.RunUntil(simtime.Time(40 * simtime.Millisecond))
+	job.Stop()
+	for _, h := range fab.Hosts {
+		pauses += h.Port.PauseRxEvents
+	}
+	return job.ImagesPerSec(), pauses
+}
+
+func main() {
+	fmt.Println("distributed training: 7 workers + 1 parameter server (scaled transfers)")
+	fmt.Printf("%-10s %-8s %14s %12s\n", "model", "policy", "images/sec", "PFC pauses")
+	for _, model := range []workload.TrainingModel{workload.AlexNet(), workload.ResNet50()} {
+		for _, policy := range []string{"SECN1", "SECN2", "ACC"} {
+			speed, pauses := run(model, policy)
+			fmt.Printf("%-10s %-8s %14.0f %12d\n", model.Name, policy, speed, pauses)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/accnet/acc
+
+go 1.22

@@ -1,0 +1,192 @@
+package acc
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/rl"
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// SystemConfig controls the multi-agent coupling of §3.4: a global replay
+// memory that periodically exchanges experience samples with each switch's
+// local memory, making the learned models more stable and generalizable.
+type SystemConfig struct {
+	Tuner Config
+	// GlobalReplayCap is the capacity of the shared memory.
+	GlobalReplayCap int
+	// ExchangePeriod is how often local/global samples are swapped. The
+	// paper uses several seconds in production; scaled simulations use
+	// milliseconds.
+	ExchangePeriod simtime.Duration
+	// ExchangeSamples is how many transitions move in each direction per
+	// exchange per switch.
+	ExchangeSamples int
+	// ShareModel makes all switches share a single agent (weights and
+	// replay), instead of per-switch agents + global replay. The paper
+	// deploys per-switch agents; sharing is provided for ablations.
+	ShareModel bool
+}
+
+// DefaultSystemConfig scales the exchange to simulation timescales.
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{
+		Tuner:           DefaultConfig(),
+		GlobalReplayCap: 16384,
+		ExchangePeriod:  5 * simtime.Millisecond,
+		ExchangeSamples: 64,
+	}
+}
+
+// System manages one ACC tuner per switch plus the global replay memory.
+type System struct {
+	Net    *netsim.Network
+	Tuners []*Tuner
+	Global *rl.Replay
+	Cfg    SystemConfig
+
+	Exchanges uint64
+	stopped   bool
+}
+
+// NewSystem deploys ACC on every switch. If model is non-nil its weights
+// initialize every agent (the §4.3 "install the same offline training model
+// for network switches" step).
+func NewSystem(net *netsim.Network, switches []*netsim.Switch, model *rl.MLP, cfg SystemConfig) *System {
+	if cfg.GlobalReplayCap <= 0 {
+		cfg.GlobalReplayCap = 16384
+	}
+	if cfg.ExchangeSamples <= 0 {
+		cfg.ExchangeSamples = 64
+	}
+	s := &System{Net: net, Global: rl.NewReplay(cfg.GlobalReplayCap), Cfg: cfg}
+
+	var shared *rl.Agent
+	for _, sw := range switches {
+		var agent *rl.Agent
+		if cfg.ShareModel {
+			if shared == nil {
+				shared = s.newAgent(net, model)
+			}
+			agent = shared
+		} else {
+			agent = s.newAgent(net, model)
+		}
+		s.Tuners = append(s.Tuners, NewTuner(net, sw, agent, cfg.Tuner))
+	}
+	if !cfg.ShareModel && cfg.ExchangePeriod > 0 && len(s.Tuners) > 1 {
+		s.scheduleExchange()
+	}
+	return s
+}
+
+func (s *System) newAgent(net *netsim.Network, model *rl.MLP) *rl.Agent {
+	tc := s.Cfg.Tuner.normalize()
+	ac := tc.Agent
+	if ac.StateDim == 0 {
+		ac = rl.DefaultAgentConfig(tc.StateDim(), len(tc.Template))
+	}
+	a := rl.NewAgent(ac, net.Rng)
+	if model != nil {
+		a.Eval.CopyFrom(model)
+		a.Target.CopyFrom(model)
+	}
+	return a
+}
+
+// Stop halts all tuners and the exchange loop.
+func (s *System) Stop() {
+	s.stopped = true
+	for _, t := range s.Tuners {
+		t.Stop()
+	}
+}
+
+// SetEpsilon sets exploration on all agents (e.g. a small residual ε when
+// starting from a pre-trained model, §4.3).
+func (s *System) SetEpsilon(e float64) {
+	for _, t := range s.Tuners {
+		t.Agent.SetEpsilon(e)
+	}
+}
+
+func (s *System) scheduleExchange() {
+	s.Net.Q.After(s.Cfg.ExchangePeriod, func() {
+		if s.stopped {
+			return
+		}
+		s.exchange()
+		s.scheduleExchange()
+	})
+}
+
+// exchange moves experience local→global and global→local for every tuner
+// (§3.4: "agents at different switches can exchange experiences and explore
+// different parts of the whole network environment").
+func (s *System) exchange() {
+	s.Exchanges++
+	n := s.Cfg.ExchangeSamples
+	for _, t := range s.Tuners {
+		for _, tr := range t.Agent.Memory.Sample(t.rng, min(n, t.Agent.Memory.Len())) {
+			s.Global.Add(tr)
+		}
+	}
+	for _, t := range s.Tuners {
+		for _, tr := range s.Global.Sample(t.rng, min(n, s.Global.Len())) {
+			t.Agent.Memory.Add(tr)
+		}
+	}
+}
+
+// ModelFile is the on-disk format produced by SaveModel.
+type ModelFile struct {
+	Description string   `json:"description"`
+	StateDim    int      `json:"state_dim"`
+	NumActions  int      `json:"num_actions"`
+	Net         *rl.MLP  `json:"net"`
+	TemplateKB  []string `json:"template,omitempty"` // human-readable template
+}
+
+// SaveModel writes an agent's evaluation network to path as JSON.
+func SaveModel(path, description string, agent *rl.Agent, cfg Config) error {
+	cfg = cfg.normalize()
+	mf := ModelFile{
+		Description: description,
+		StateDim:    cfg.StateDim(),
+		NumActions:  len(cfg.Template),
+		Net:         agent.Eval,
+	}
+	for _, tc := range cfg.Template {
+		mf.TemplateKB = append(mf.TemplateKB, tc.String())
+	}
+	data, err := json.MarshalIndent(mf, "", " ")
+	if err != nil {
+		return fmt.Errorf("acc: encoding model: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadModel reads a model saved by SaveModel.
+func LoadModel(path string) (*rl.MLP, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var mf ModelFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return nil, fmt.Errorf("acc: decoding model %s: %w", path, err)
+	}
+	if mf.Net == nil {
+		return nil, fmt.Errorf("acc: model file %s has no network", path)
+	}
+	return mf.Net, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

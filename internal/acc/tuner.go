@@ -1,0 +1,378 @@
+package acc
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/red"
+	"github.com/accnet/acc/internal/rl"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/stats"
+)
+
+// FeaturesPerSlot is the per-interval feature vector of §3.3/§4.1:
+// QS_t = (qlen, txRate, txRate(m), ECN(c)), each normalized.
+const FeaturesPerSlot = 4
+
+// Config parameterizes one per-switch tuner.
+type Config struct {
+	// Period is ΔT, the monitoring/action interval — one order of magnitude
+	// above the datacenter RTT (§3.3).
+	Period simtime.Duration
+	// HistoryK is the number of past monitoring slots in the state (§3.3
+	// Markov property; k=3 suffices).
+	HistoryK int
+
+	// Reward weights ω1 (utilization) and ω2 (queue delay); ω1+ω2=1.
+	W1, W2 float64
+	// Reward maps average queue length to D(L); StepReward is the paper's.
+	Reward RewardFunc
+
+	// Template is the ECN configuration template (action space).
+	Template []red.Config
+
+	// Explore enables ε-greedy action selection; disable to run a frozen
+	// policy greedily.
+	Explore bool
+	// TrainOnline runs a DDQN optimization step each interval (§4.3).
+	TrainOnline bool
+	// TrainEvery trains on every N-th tick (1 = every tick).
+	TrainEvery int
+	// PrioritizedAlpha > 0 enables the §4.3 online refinement where
+	// high-reward experiences are prioritised during replay sampling;
+	// 0 keeps uniform sampling.
+	PrioritizedAlpha float64
+
+	// BusyIdle enables the §4.2 optimization: queues whose length stays
+	// under Kmin, or whose reward hasn't changed for IdleSlots consecutive
+	// slots, skip inference.
+	BusyIdle  bool
+	IdleSlots int
+
+	// RecordTrace keeps a time series of applied Kmin per queue (Figure 15).
+	RecordTrace bool
+
+	// Prios restricts tuning to the listed traffic classes (§3.2: the
+	// queues assigned to RDMA traffic apply automatic ECN tuning). Nil
+	// tunes every ECN-enabled queue.
+	Prios []int
+
+	// Agent overrides the default rl.AgentConfig (zero value = defaults).
+	Agent rl.AgentConfig
+}
+
+// DefaultConfig returns the paper-recommended settings: ΔT=100µs (an order
+// of magnitude above the ~10µs RTT), k=3, ω1=0.7/ω2=0.3, step reward, the
+// 20-entry template, online training enabled.
+func DefaultConfig() Config {
+	return Config{
+		Period:      100 * simtime.Microsecond,
+		HistoryK:    3,
+		W1:          0.7,
+		W2:          0.3,
+		Reward:      StepReward,
+		Template:    DefaultTemplate(),
+		Explore:     true,
+		TrainOnline: true,
+		TrainEvery:  1,
+		BusyIdle:    true,
+		IdleSlots:   3,
+	}
+}
+
+// StateDim returns the agent input dimension for the config.
+func (c Config) StateDim() int { return FeaturesPerSlot * c.HistoryK }
+
+// tunesPrio reports whether the config tunes the given traffic class.
+func (c Config) tunesPrio(prio int) bool {
+	if len(c.Prios) == 0 {
+		return true
+	}
+	for _, p := range c.Prios {
+		if p == prio {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Config) normalize() Config {
+	if c.Period <= 0 {
+		c.Period = 100 * simtime.Microsecond
+	}
+	if c.HistoryK <= 0 {
+		c.HistoryK = 3
+	}
+	if c.Reward == nil {
+		c.Reward = StepReward
+	}
+	if len(c.Template) == 0 {
+		c.Template = DefaultTemplate()
+	}
+	if c.TrainEvery <= 0 {
+		c.TrainEvery = 1
+	}
+	if c.IdleSlots <= 0 {
+		c.IdleSlots = 3
+	}
+	if c.W1 == 0 && c.W2 == 0 {
+		c.W1, c.W2 = 0.7, 0.3
+	}
+	return c
+}
+
+// queueState is the tuner's bookkeeping for one monitored egress queue.
+type queueState struct {
+	port *netsim.Port
+	q    *netsim.EgressQueue
+
+	hist       [][]float64
+	prevState  []float64
+	prevAction int
+	action     int
+
+	lastTx       uint64
+	lastMarked   uint64
+	lastIntegral float64
+
+	share float64 // DWRR bandwidth fraction of this queue's class
+
+	lastReward float64
+	sameReward int
+	idle       bool
+
+	// Trace of applied thresholds (Figure 15) when enabled.
+	KminTrace   stats.Series
+	RewardTrace stats.Series
+}
+
+// Tuner is the per-switch ACC module (Figure 5): collector → data processor
+// → DRL agent → configurator, on one ΔT loop.
+type Tuner struct {
+	Net    *netsim.Network
+	Switch *netsim.Switch
+	Agent  *rl.Agent
+	Cfg    Config
+
+	rng    *rand.Rand
+	queues []*queueState
+	ticks  int
+
+	// Counters mirroring the §4.2 CPU-saving discussion.
+	Inferences uint64
+	Skipped    uint64
+	TrainRuns  uint64
+
+	stopped bool
+}
+
+// NewTuner attaches a tuner to every ECN-enabled egress queue of sw and
+// starts its ΔT loop. A nil agent creates a fresh one from cfg.
+func NewTuner(net *netsim.Network, sw *netsim.Switch, agent *rl.Agent, cfg Config) *Tuner {
+	cfg = cfg.normalize()
+	if agent == nil {
+		ac := cfg.Agent
+		if ac.StateDim == 0 {
+			ac = rl.DefaultAgentConfig(cfg.StateDim(), len(cfg.Template))
+		}
+		agent = rl.NewAgent(ac, net.Rng)
+	}
+	t := &Tuner{
+		Net:    net,
+		Switch: sw,
+		Agent:  agent,
+		Cfg:    cfg,
+		rng:    rand.New(rand.NewSource(net.Rng.Int63())),
+	}
+	for _, p := range sw.Ports {
+		sumW := 0
+		for _, q := range p.Queues {
+			sumW += q.Weight
+		}
+		for _, q := range p.Queues {
+			if !q.ECNEnabled || !cfg.tunesPrio(q.Prio) {
+				continue
+			}
+			qs := &queueState{port: p, q: q, action: t.closestAction(q.RED)}
+			// Utilization is judged against the class's DWRR allocation:
+			// a 70%-weighted RDMA queue reaching its share reads as 1.0.
+			if sumW > 0 {
+				qs.share = float64(q.Weight) / float64(sumW)
+			} else {
+				qs.share = 1
+			}
+			t.queues = append(t.queues, qs)
+		}
+	}
+	t.schedule()
+	return t
+}
+
+// Stop halts the tuning loop.
+func (t *Tuner) Stop() { t.stopped = true }
+
+// Queues returns the number of monitored queues.
+func (t *Tuner) Queues() int { return len(t.queues) }
+
+// QueueTrace returns the Kmin trace of monitored queue i (RecordTrace mode).
+func (t *Tuner) QueueTrace(i int) *stats.Series { return &t.queues[i].KminTrace }
+
+// closestAction finds the template entry nearest an existing RED config so
+// the first state's ECN(c) feature reflects reality.
+func (t *Tuner) closestAction(c red.Config) int {
+	best, bestDist := 0, math.MaxFloat64
+	for i, tc := range t.Cfg.Template {
+		d := math.Abs(math.Log(float64(tc.Kmin)+1) - math.Log(float64(c.Kmin)+1))
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+func (t *Tuner) schedule() {
+	t.Net.Q.After(t.Cfg.Period, func() {
+		if t.stopped {
+			return
+		}
+		t.tick()
+		t.schedule()
+	})
+}
+
+// tick runs one monitoring/inference interval over all queues.
+func (t *Tuner) tick() {
+	t.ticks++
+	for _, qs := range t.queues {
+		t.tickQueue(qs)
+	}
+}
+
+// features builds QS_t for a queue and returns it with the measured reward
+// ingredients (utilization, average queue bytes over the interval).
+func (t *Tuner) features(qs *queueState) (slot []float64, util, avgQ float64) {
+	txDelta := qs.q.TxBytes - qs.lastTx
+	markDelta := qs.q.TxMarkedBytes - qs.lastMarked
+	integ := qs.q.ByteTimeIntegral()
+	integDelta := integ - qs.lastIntegral
+	qs.lastTx = qs.q.TxBytes
+	qs.lastMarked = qs.q.TxMarkedBytes
+	qs.lastIntegral = integ
+
+	window := t.Cfg.Period.Seconds()
+	bw := float64(qs.port.Bandwidth) * qs.share
+	util = clamp01(float64(txDelta) * 8 / (bw * window))
+	markedRate := clamp01(float64(markDelta) * 8 / (bw * window))
+	avgQ = integDelta / window
+
+	slot = []float64{
+		float64(LevelOf(qs.q.Bytes())) / float64(ELevels),
+		util,
+		markedRate,
+		float64(qs.action) / float64(len(t.Cfg.Template)-1),
+	}
+	return slot, util, avgQ
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// state flattens the last k slots, zero-padding the warmup.
+func (t *Tuner) state(qs *queueState) []float64 {
+	k := t.Cfg.HistoryK
+	out := make([]float64, 0, k*FeaturesPerSlot)
+	pad := k - len(qs.hist)
+	for i := 0; i < pad; i++ {
+		out = append(out, make([]float64, FeaturesPerSlot)...)
+	}
+	for _, s := range qs.hist {
+		out = append(out, s...)
+	}
+	return out
+}
+
+func (t *Tuner) tickQueue(qs *queueState) {
+	slot, util, avgQ := t.features(qs)
+
+	qs.hist = append(qs.hist, slot)
+	if len(qs.hist) > t.Cfg.HistoryK {
+		qs.hist = qs.hist[1:]
+	}
+	state := t.state(qs)
+
+	reward := Reward(t.Cfg.W1, t.Cfg.W2, util, t.Cfg.Reward(avgQ))
+	if t.Cfg.RecordTrace {
+		qs.RewardTrace.Add(t.Net.Now(), reward)
+	}
+
+	// Learn from the previous action's outcome.
+	if qs.prevState != nil {
+		t.Agent.Observe(rl.Transition{
+			State:  qs.prevState,
+			Action: qs.prevAction,
+			Reward: reward,
+			Next:   state,
+		})
+		if t.Cfg.TrainOnline && t.ticks%t.Cfg.TrainEvery == 0 {
+			if t.Cfg.PrioritizedAlpha > 0 {
+				t.Agent.TrainStepPrioritized(t.rng, t.Cfg.PrioritizedAlpha)
+			} else {
+				t.Agent.TrainStep(t.rng)
+			}
+			t.TrainRuns++
+		}
+	}
+
+	// Busy/idle gating (§4.2).
+	if t.Cfg.BusyIdle {
+		if math.Abs(reward-qs.lastReward) < 1e-9 {
+			qs.sameReward++
+		} else {
+			qs.sameReward = 0
+		}
+		qs.lastReward = reward
+		wasIdle := qs.idle
+		if qs.idle {
+			// Idle until the queue grows past Kmin again.
+			qs.idle = qs.q.Bytes() <= qs.q.RED.Kmin
+		} else {
+			qs.idle = qs.q.Bytes() < qs.q.RED.Kmin && qs.sameReward >= t.Cfg.IdleSlots
+		}
+		if qs.idle {
+			t.Skipped++
+			if !wasIdle {
+				qs.prevState = nil // break the experience chain while dormant
+			}
+			return
+		}
+	}
+
+	// Inference + actuation.
+	var action int
+	if t.Cfg.Explore {
+		action = t.Agent.Act(state, t.rng)
+	} else {
+		action = t.Agent.ActGreedy(state)
+	}
+	t.Inferences++
+	t.apply(qs, action)
+	qs.prevState = state
+	qs.prevAction = action
+}
+
+// apply maps the action index into the ECN template and programs the queue.
+func (t *Tuner) apply(qs *queueState, action int) {
+	qs.action = action
+	qs.q.RED = t.Cfg.Template[action]
+	if t.Cfg.RecordTrace {
+		qs.KminTrace.Add(t.Net.Now(), float64(qs.q.RED.Kmin))
+	}
+}

@@ -1,0 +1,330 @@
+// Package dcqcn implements the DCQCN congestion-control protocol (Zhu et
+// al., SIGCOMM 2015) that RDMA NICs run by default in the paper's
+// datacenters. It is the "plant" that ACC's ECN tuning controls: the switch
+// marks packets per the (Kmin, Kmax, Pmax) template, the notification point
+// (receiver) converts marks into paced CNPs, and the reaction point (sender)
+// adjusts its injection rate with the published multiplicative-decrease /
+// fast-recovery / additive-increase / hyper-increase state machine.
+//
+// Flows are rate-paced and lossless under PFC, matching RoCEv2 behaviour.
+package dcqcn
+
+import (
+	"github.com/accnet/acc/internal/eventq"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// Params holds the DCQCN knobs (the "9 parameters at end-host" of the
+// paper's Observation 3). Defaults follow the DCQCN paper and common NIC
+// firmware settings, with rate constants scaled to the line rate.
+type Params struct {
+	MTU  int // payload bytes per packet
+	Prio int // traffic class for data packets
+
+	CNPInterval simtime.Duration // NP: min spacing between CNPs per flow
+
+	G                 float64          // alpha EWMA gain
+	AlphaTimer        simtime.Duration // alpha decay interval without CNPs
+	IncreaseTimer     simtime.Duration // time-based rate-increase interval
+	ByteCounter       int64            // byte-based rate-increase threshold
+	FastRecoverySteps int              // F: stages before additive increase
+
+	RateAI  simtime.Rate // additive increase step
+	RateHAI simtime.Rate // hyper increase step
+	MinRate simtime.Rate // rate floor
+	// InitRate is the starting rate; zero means the NIC line rate.
+	InitRate simtime.Rate
+	// ClampTargetRate mirrors the CLAMP_TGT_RATE knob: when true (the
+	// DCQCN paper's pseudocode, our default), every cut sets Rt=Rc; when
+	// false, Rt is reset only if the flow increased since the last cut, so
+	// a chain of CNPs during one burst preserves the pre-burst target and
+	// fast recovery rebounds much more aggressively.
+	ClampTargetRate bool
+}
+
+// DefaultParams returns DCQCN parameters scaled to the given line rate.
+func DefaultParams(line simtime.Rate) Params {
+	return Params{
+		MTU:               netsim.DefaultMTU,
+		Prio:              3,
+		CNPInterval:       50 * simtime.Microsecond,
+		G:                 1.0 / 256,
+		AlphaTimer:        55 * simtime.Microsecond,
+		IncreaseTimer:     150 * simtime.Microsecond,
+		ByteCounter:       64 * simtime.KB,
+		FastRecoverySteps: 5,
+		RateAI:            line / 1000, // e.g. 25Mbps at 25G (DCQCN-paper scale)
+		ClampTargetRate:   true,
+		RateHAI:           line / 500, // e.g. 50Mbps at 25G
+		MinRate:           line / 2500,
+	}
+}
+
+// Flow is one RDMA queue pair transferring Size bytes from Src to Dst.
+type Flow struct {
+	ID   netsim.FlowID
+	Src  *netsim.Host
+	Dst  *netsim.Host
+	Size int64
+	P    Params
+
+	Start simtime.Time
+	End   simtime.Time // zero until complete
+
+	net  *netsim.Network
+	line simtime.Rate
+
+	// Reaction-point state.
+	rc, rt    simtime.Rate // current and target rate
+	alpha     float64
+	tc, bc    int   // timer / byte-counter stage counts since last cut
+	incBytes  int64 // bytes since last byte-counter event
+	sent      int64
+	increased bool // rate increase happened since the last cut
+
+	paceEv  *eventq.Event
+	alphaEv *eventq.Event
+	incEv   *eventq.Event
+
+	// Notification-point state.
+	rcvd    int64
+	lastCNP simtime.Time
+	cnpSent bool
+
+	// Counters for analysis.
+	CNPs       uint64 // CNPs received by the sender
+	RateCuts   uint64
+	MarkedSeen uint64 // CE-marked data packets observed at the receiver
+
+	onDone func(*Flow)
+	done   bool
+}
+
+// Rate returns the sender's current injection rate.
+func (f *Flow) Rate() simtime.Rate { return f.rc }
+
+// Alpha returns the sender's congestion estimate.
+func (f *Flow) Alpha() float64 { return f.alpha }
+
+// Received returns bytes delivered so far.
+func (f *Flow) Received() int64 { return f.rcvd }
+
+// Done reports whether all bytes were delivered.
+func (f *Flow) Done() bool { return f.done }
+
+// FCT returns the flow completion time; valid once Done.
+func (f *Flow) FCT() simtime.Duration { return f.End.Sub(f.Start) }
+
+// Start launches a DCQCN flow of size bytes at the current virtual time.
+// onDone, if non-nil, runs when the last byte reaches the receiver.
+func Start(net *netsim.Network, src, dst *netsim.Host, size int64, p Params, onDone func(*Flow)) *Flow {
+	if p.MTU <= 0 {
+		p.MTU = netsim.DefaultMTU
+	}
+	line := src.Port.Bandwidth
+	init := p.InitRate
+	if init <= 0 {
+		init = line
+	}
+	f := &Flow{
+		ID:     net.NextFlowID(),
+		Src:    src,
+		Dst:    dst,
+		Size:   size,
+		P:      p,
+		Start:  net.Now(),
+		net:    net,
+		line:   line,
+		rc:     init,
+		rt:     init,
+		alpha:  1, // per the DCQCN paper, α starts at 1: first CNP halves the rate
+		onDone: onDone,
+	}
+	// Sender side receives CNPs; receiver side receives data.
+	src.Register(f.ID, netsim.EndpointFunc(f.senderHandle))
+	dst.Register(f.ID, netsim.EndpointFunc(f.receiverHandle))
+	f.trySend()
+	return f
+}
+
+// trySend emits the next data packet if the NIC admits it, then re-arms the
+// pacer at the current rate.
+func (f *Flow) trySend() {
+	f.paceEv = nil
+	if f.sent >= f.Size {
+		return
+	}
+	port := f.Src.Port
+	if !port.CanInject(f.P.Prio) {
+		port.WhenReady(f.P.Prio, f.trySend)
+		return
+	}
+	payload := f.P.MTU
+	if rem := f.Size - f.sent; int64(payload) > rem {
+		payload = int(rem)
+	}
+	pkt := &netsim.Packet{
+		Kind:      netsim.KindData,
+		Flow:      f.ID,
+		Src:       f.Src.ID(),
+		Dst:       f.Dst.ID(),
+		Prio:      f.P.Prio,
+		Size:      payload + netsim.DataHeaderBytes,
+		Seq:       f.sent,
+		FlowBytes: f.Size,
+		ECT:       true,
+		Last:      f.sent+int64(payload) >= f.Size,
+	}
+	f.Src.Send(pkt)
+	f.sent += int64(payload)
+
+	// Byte-counter stage of the rate-increase machinery.
+	f.incBytes += int64(pkt.Size)
+	if f.incBytes >= f.P.ByteCounter {
+		f.incBytes = 0
+		f.increase(false)
+	}
+
+	if f.sent < f.Size {
+		gap := simtime.TxTime(pkt.Size, f.rc)
+		f.paceEv = f.net.Q.After(gap, f.trySend)
+	}
+}
+
+// senderHandle processes CNPs at the reaction point.
+func (f *Flow) senderHandle(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.KindCNP {
+		return
+	}
+	f.CNPs++
+	f.cutRate()
+}
+
+// cutRate applies the DCQCN multiplicative decrease and resets the increase
+// machinery.
+func (f *Flow) cutRate() {
+	f.RateCuts++
+	if f.increased || f.P.ClampTargetRate {
+		f.rt = f.rc
+		f.increased = false
+	}
+	f.rc = f.rc * simtime.Rate(1-f.alpha/2)
+	f.alpha = (1-f.P.G)*f.alpha + f.P.G
+	if f.rc < f.P.MinRate {
+		f.rc = f.P.MinRate
+	}
+	f.tc, f.bc = 0, 0
+	f.incBytes = 0
+	f.armAlphaTimer()
+	f.armIncreaseTimer()
+}
+
+func (f *Flow) armAlphaTimer() {
+	if f.alphaEv != nil {
+		f.alphaEv.Cancel()
+	}
+	f.alphaEv = f.net.Q.After(f.P.AlphaTimer, func() {
+		f.alpha *= 1 - f.P.G
+		if f.alpha > 1e-6 {
+			f.armAlphaTimer()
+		} else {
+			f.alpha = 0
+			f.alphaEv = nil
+		}
+	})
+}
+
+func (f *Flow) armIncreaseTimer() {
+	if f.incEv != nil {
+		f.incEv.Cancel()
+	}
+	f.incEv = f.net.Q.After(f.P.IncreaseTimer, func() {
+		f.increase(true)
+		if f.sent < f.Size || f.rc < f.line {
+			f.armIncreaseTimer()
+		} else {
+			f.incEv = nil
+		}
+	})
+}
+
+// increase runs one stage of the rate-recovery state machine. timer selects
+// whether the trigger was the timer or the byte counter.
+func (f *Flow) increase(timer bool) {
+	if timer {
+		f.tc++
+	} else {
+		f.bc++
+	}
+	fr := f.P.FastRecoverySteps
+	switch {
+	case f.tc > fr && f.bc > fr: // hyper increase
+		i := f.tc - fr
+		if f.bc-fr < i {
+			i = f.bc - fr
+		}
+		f.rt += simtime.Rate(i) * f.P.RateHAI
+	case f.tc > fr || f.bc > fr: // additive increase
+		f.rt += f.P.RateAI
+	default: // fast recovery: converge toward the pre-cut target
+	}
+	if f.rt > f.line {
+		f.rt = f.line
+	}
+	f.increased = true
+	f.rc = (f.rt + f.rc) / 2
+	if f.rc > f.line {
+		f.rc = f.line
+	}
+}
+
+// receiverHandle is the notification point: it counts delivered bytes,
+// converts CE marks into paced CNPs, and detects completion.
+func (f *Flow) receiverHandle(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.KindData {
+		return
+	}
+	f.rcvd += int64(pkt.Size - netsim.DataHeaderBytes)
+
+	if pkt.CE {
+		f.MarkedSeen++
+		now := f.net.Now()
+		if !f.cnpSent || now.Sub(f.lastCNP) >= f.P.CNPInterval {
+			f.cnpSent = true
+			f.lastCNP = now
+			cnp := &netsim.Packet{
+				Kind: netsim.KindCNP,
+				Flow: f.ID,
+				Src:  f.Dst.ID(),
+				Dst:  f.Src.ID(),
+				Prio: f.P.Prio,
+				Size: netsim.CtrlPacketBytes,
+				// CNPs ride a protected class in RoCE deployments: model
+				// that by making them ECN-capable, so WRED marks rather
+				// than drops them (nothing reads CE on a CNP).
+				ECT: true,
+			}
+			f.Dst.Send(cnp)
+		}
+	}
+
+	if f.rcvd >= f.Size && !f.done {
+		f.done = true
+		f.End = f.net.Now()
+		f.teardown()
+		if f.onDone != nil {
+			f.onDone(f)
+		}
+	}
+}
+
+// teardown cancels timers and unregisters endpoints.
+func (f *Flow) teardown() {
+	for _, ev := range []*eventq.Event{f.paceEv, f.alphaEv, f.incEv} {
+		ev.Cancel()
+	}
+	f.paceEv, f.alphaEv, f.incEv = nil, nil, nil
+	f.Src.Unregister(f.ID)
+	f.Dst.Unregister(f.ID)
+}

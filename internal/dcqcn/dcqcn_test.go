@@ -1,0 +1,166 @@
+package dcqcn_test
+
+import (
+	"testing"
+
+	"github.com/accnet/acc/internal/dcqcn"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/topo"
+)
+
+func star(t *testing.T, n int, seed int64) (*netsim.Network, *topo.Fabric) {
+	t.Helper()
+	net := netsim.New(seed)
+	cfg := topo.DefaultConfig()
+	f := topo.Star(net, n, cfg)
+	return net, f
+}
+
+// A single unmarked flow should finish at close to line rate.
+func TestSingleFlowLineRate(t *testing.T) {
+	net, f := star(t, 2, 1)
+	size := int64(10 * simtime.MB)
+	var got *dcqcn.Flow
+	fl := dcqcn.Start(net, f.Hosts[0], f.Hosts[1], size, dcqcn.DefaultParams(25*simtime.Gbps), func(fl *dcqcn.Flow) { got = fl })
+	net.RunUntil(simtime.Time(simtime.Second))
+	if got == nil {
+		t.Fatalf("flow did not complete; received %d of %d", fl.Received(), size)
+	}
+	// Ideal time: payload at goodput = line * MTU/(MTU+hdr) over 2 hops.
+	goodput := 25 * simtime.Gbps * simtime.Rate(float64(netsim.DefaultMTU)/float64(netsim.DefaultMTU+netsim.DataHeaderBytes))
+	ideal := simtime.TxTime(int(size), goodput)
+	fct := got.FCT()
+	if float64(fct) < 0.999*float64(ideal) {
+		t.Fatalf("FCT %v faster than ideal %v", fct, ideal)
+	}
+	if float64(fct) > 1.1*float64(ideal) {
+		t.Fatalf("FCT %v more than 10%% over ideal %v (achieved %.1fGbps)",
+			fct, ideal, float64(simtime.RateOf(size, fct))/1e9)
+	}
+	if got.CNPs != 0 {
+		t.Fatalf("uncontended flow saw %d CNPs", got.CNPs)
+	}
+}
+
+// Incast: N senders to one receiver must (a) complete, (b) share fairly,
+// and (c) keep a bounded queue thanks to ECN marking.
+func TestIncastConvergence(t *testing.T) {
+	const n = 8
+	net, f := star(t, n+1, 2)
+	recv := f.Hosts[n]
+	size := int64(2 * simtime.MB)
+	var done int
+	flows := make([]*dcqcn.Flow, n)
+	for i := 0; i < n; i++ {
+		flows[i] = dcqcn.Start(net, f.Hosts[i], recv, size, dcqcn.DefaultParams(25*simtime.Gbps), func(*dcqcn.Flow) { done++ })
+	}
+	net.RunUntil(simtime.Time(100 * simtime.Millisecond))
+	if done != n {
+		t.Fatalf("only %d/%d flows completed", done, n)
+	}
+	sw := f.Leaves[0]
+	if sw.MarksTotal == 0 {
+		t.Fatal("incast produced no ECN marks")
+	}
+	if sw.DropsTotal != 0 {
+		t.Fatalf("%d drops despite PFC+ECN", sw.DropsTotal)
+	}
+	// The aggregate should be near line rate: total bytes / last FCT.
+	var last simtime.Duration
+	for _, fl := range flows {
+		if fl.FCT() > last {
+			last = fl.FCT()
+		}
+		if fl.CNPs == 0 {
+			t.Errorf("flow %d never received a CNP during incast", fl.ID)
+		}
+	}
+	// SECN1's tiny Kmin (5KB) trades throughput for latency — exactly the
+	// paper's Observation 2. With realistic (Mellanox-scale) rate-increase
+	// constants the 8:1 burst converges well below line rate; require a
+	// sane floor rather than line rate.
+	agg := simtime.RateOf(size*n, last)
+	if agg < 6*simtime.Gbps {
+		t.Fatalf("aggregate goodput %.1fGbps < 6Gbps", float64(agg)/1e9)
+	}
+}
+
+// Lower Kmin must produce shorter queues (the core ECN tradeoff the paper
+// tunes, Observation 1).
+func TestKminControlsQueueDepth(t *testing.T) {
+	peak := func(kminKB int) int {
+		net, f := star(t, 9, 3)
+		sw := f.Leaves[0]
+		for _, p := range sw.Ports {
+			for _, q := range p.Queues {
+				q.RED.Kmin = kminKB * simtime.KB
+				q.RED.Kmax = kminKB * simtime.KB * 8
+				q.RED.Pmax = 0.2
+			}
+		}
+		recv := f.Hosts[8]
+		for i := 0; i < 8; i++ {
+			dcqcn.Start(net, f.Hosts[i], recv, 4*simtime.MB, dcqcn.DefaultParams(25*simtime.Gbps), nil)
+		}
+		maxQ := 0
+		// Sample the egress queue to the receiver every 10us.
+		rxPort := sw.Ports[8]
+		var sample func()
+		sample = func() {
+			if b := rxPort.Queues[0].Bytes(); b > maxQ {
+				maxQ = b
+			}
+			net.Q.After(10*simtime.Microsecond, sample)
+		}
+		net.Q.After(0, sample)
+		net.RunUntil(simtime.Time(20 * simtime.Millisecond))
+		return maxQ
+	}
+	small, large := peak(10), peak(400)
+	if small >= large {
+		t.Fatalf("peak queue with Kmin=10KB (%d) not below Kmin=400KB (%d)", small, large)
+	}
+}
+
+// Determinism: identical seeds give identical results.
+func TestDeterminism(t *testing.T) {
+	run := func() (simtime.Duration, uint64) {
+		net, f := star(t, 9, 42)
+		recv := f.Hosts[8]
+		var last simtime.Duration
+		for i := 0; i < 8; i++ {
+			dcqcn.Start(net, f.Hosts[i], recv, simtime.MB, dcqcn.DefaultParams(25*simtime.Gbps), func(fl *dcqcn.Flow) {
+				if fl.FCT() > last {
+					last = fl.FCT()
+				}
+			})
+		}
+		net.RunUntil(simtime.Time(simtime.Second))
+		return last, f.Leaves[0].MarksTotal
+	}
+	f1, m1 := run()
+	f2, m2 := run()
+	if f1 != f2 || m1 != m2 {
+		t.Fatalf("non-deterministic: (%v,%d) vs (%v,%d)", f1, m1, f2, m2)
+	}
+}
+
+// Rate cut math: one CNP should cut the rate by alpha/2 with alpha ramping
+// from g.
+func TestLeafSpinePath(t *testing.T) {
+	net := netsim.New(7)
+	f := topo.LeafSpine(net, 2, 2, 2, topo.DefaultConfig())
+	src := f.HostsAt[0][0]
+	dst := f.HostsAt[1][0]
+	var fl *dcqcn.Flow
+	fl = dcqcn.Start(net, src, dst, simtime.MB, dcqcn.DefaultParams(25*simtime.Gbps), nil)
+	net.RunUntil(simtime.Time(50 * simtime.Millisecond))
+	if !fl.Done() {
+		t.Fatalf("cross-leaf flow incomplete: %d/%d bytes", fl.Received(), fl.Size)
+	}
+	achieved := simtime.RateOf(fl.Size, fl.FCT())
+	if achieved < 20*simtime.Gbps {
+		t.Fatalf("cross-leaf goodput %.1fGbps < 20Gbps", float64(achieved)/1e9)
+	}
+}

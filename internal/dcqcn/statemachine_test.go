@@ -1,0 +1,160 @@
+package dcqcn_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/accnet/acc/internal/dcqcn"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/red"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/topo"
+)
+
+// markAll configures the fabric to CE-mark every ECT packet.
+func markAll(f *topo.Fabric) {
+	for _, sw := range f.Switches() {
+		sw.SetRED(red.Config{Kmin: 0, Kmax: 0, Pmax: 1})
+	}
+}
+
+// TestFirstCNPHalvesRate: with α initialized to 1, the first CNP must cut
+// the rate by exactly half (per the DCQCN paper).
+func TestFirstCNPHalvesRate(t *testing.T) {
+	net, f := star(t, 2, 31)
+	markAll(f)
+	line := 25 * simtime.Gbps
+	fl := dcqcn.Start(net, f.Hosts[0], f.Hosts[1], 100*simtime.MB, dcqcn.DefaultParams(line), nil)
+	// Run until exactly one CNP has been processed.
+	for fl.CNPs == 0 && net.Q.Step() {
+	}
+	if fl.CNPs != 1 {
+		t.Fatalf("expected to stop at first CNP, got %d", fl.CNPs)
+	}
+	want := float64(line) / 2
+	if math.Abs(float64(fl.Rate())-want) > 1e-6*want {
+		t.Fatalf("rate after first CNP %v, want %v", fl.Rate(), simtime.Rate(want))
+	}
+	// α update with α=1 is a fixed point: (1-g)·1+g = 1.
+	if a := fl.Alpha(); a < 0.999 || a > 1.0001 {
+		t.Fatalf("alpha after first CNP %v, want exactly 1", a)
+	}
+}
+
+// TestRepeatedCNPsReachFloor: sustained marking must drive the rate to the
+// configured floor, never below.
+func TestRepeatedCNPsReachFloor(t *testing.T) {
+	net, f := star(t, 2, 32)
+	markAll(f)
+	p := dcqcn.DefaultParams(25 * simtime.Gbps)
+	fl := dcqcn.Start(net, f.Hosts[0], f.Hosts[1], 1<<40, p, nil)
+	net.RunUntil(simtime.Time(5 * simtime.Millisecond))
+	if fl.Rate() < p.MinRate {
+		t.Fatalf("rate %v below floor %v", fl.Rate(), p.MinRate)
+	}
+	if fl.Rate() > 4*p.MinRate {
+		t.Fatalf("rate %v not driven near floor %v under full marking", fl.Rate(), p.MinRate)
+	}
+	if fl.RateCuts < 10 {
+		t.Fatalf("only %d cuts under sustained marking", fl.RateCuts)
+	}
+}
+
+// TestAlphaDecaysWithoutCNPs: once marking stops, α must decay toward 0 via
+// the 55µs timer.
+func TestAlphaDecaysWithoutCNPs(t *testing.T) {
+	net, f := star(t, 2, 33)
+	markAll(f)
+	p := dcqcn.DefaultParams(25 * simtime.Gbps)
+	fl := dcqcn.Start(net, f.Hosts[0], f.Hosts[1], 1<<40, p, nil)
+	net.RunUntil(simtime.Time(simtime.Millisecond))
+	alphaDuring := fl.Alpha()
+	// Stop marking entirely.
+	for _, sw := range f.Switches() {
+		sw.SetRED(red.Config{Kmin: 1 << 30, Kmax: 1 << 30, Pmax: 1})
+	}
+	net.RunUntil(simtime.Time(20 * simtime.Millisecond))
+	if fl.Alpha() > alphaDuring/2 {
+		t.Fatalf("alpha %v did not decay (was %v during marking)", fl.Alpha(), alphaDuring)
+	}
+}
+
+// TestRateRecoversAfterMarkingStops: fast recovery + increase must bring
+// the rate back toward line rate once the congestion signal clears.
+func TestRateRecoversAfterMarkingStops(t *testing.T) {
+	net, f := star(t, 2, 34)
+	markAll(f)
+	p := dcqcn.DefaultParams(25 * simtime.Gbps)
+	fl := dcqcn.Start(net, f.Hosts[0], f.Hosts[1], 1<<40, p, nil)
+	net.RunUntil(simtime.Time(2 * simtime.Millisecond))
+	suppressed := float64(fl.Rate())
+	for _, sw := range f.Switches() {
+		sw.SetRED(red.Config{Kmin: 1 << 30, Kmax: 1 << 30, Pmax: 1})
+	}
+	net.RunUntil(simtime.Time(60 * simtime.Millisecond))
+	if float64(fl.Rate()) < 10*suppressed && fl.Rate() < 20*simtime.Gbps {
+		t.Fatalf("rate %v failed to recover from %v", fl.Rate(), simtime.Rate(suppressed))
+	}
+}
+
+// TestCNPPacing: the notification point must not send CNPs faster than the
+// configured interval per flow.
+func TestCNPPacing(t *testing.T) {
+	net, f := star(t, 2, 35)
+	markAll(f)
+	p := dcqcn.DefaultParams(25 * simtime.Gbps)
+	fl := dcqcn.Start(net, f.Hosts[0], f.Hosts[1], 1<<40, p, nil)
+	d := 5 * simtime.Millisecond
+	net.RunUntil(simtime.Time(d))
+	maxCNPs := uint64(d/p.CNPInterval) + 2
+	if fl.CNPs > maxCNPs {
+		t.Fatalf("%d CNPs in %v exceeds the %v pacing bound (%d)", fl.CNPs, d, p.CNPInterval, maxCNPs)
+	}
+	if fl.MarkedSeen <= fl.CNPs {
+		t.Fatalf("marked packets (%d) should exceed paced CNPs (%d) under full marking", fl.MarkedSeen, fl.CNPs)
+	}
+}
+
+// TestClampTargetRateAblation: with clamping disabled (Mellanox-style), a
+// burst of CNPs preserves the pre-burst target, so recovery is faster than
+// with the DCQCN-paper clamped default.
+func TestClampTargetRateAblation(t *testing.T) {
+	recoveryRate := func(clamp bool) simtime.Rate {
+		net, f := star(t, 2, 36)
+		markAll(f)
+		p := dcqcn.DefaultParams(25 * simtime.Gbps)
+		p.ClampTargetRate = clamp
+		fl := dcqcn.Start(net, f.Hosts[0], f.Hosts[1], 1<<40, p, nil)
+		net.RunUntil(simtime.Time(simtime.Millisecond))
+		for _, sw := range f.Switches() {
+			sw.SetRED(red.Config{Kmin: 1 << 30, Kmax: 1 << 30, Pmax: 1})
+		}
+		net.RunUntil(simtime.Time(3 * simtime.Millisecond))
+		return fl.Rate()
+	}
+	clamped := recoveryRate(true)
+	unclamped := recoveryRate(false)
+	if unclamped <= clamped {
+		t.Fatalf("unclamped recovery (%v) not faster than clamped (%v)", unclamped, clamped)
+	}
+}
+
+// TestFlowTeardownReleasesEndpoints: after completion, late packets for the
+// flow must be dropped without effect and new flows can reuse hosts.
+func TestFlowTeardownReleasesEndpoints(t *testing.T) {
+	net, f := star(t, 2, 37)
+	var first *dcqcn.Flow
+	first = dcqcn.Start(net, f.Hosts[0], f.Hosts[1], 10*simtime.KB, dcqcn.DefaultParams(25*simtime.Gbps), nil)
+	net.RunUntil(simtime.Time(10 * simtime.Millisecond))
+	if !first.Done() {
+		t.Fatal("first flow incomplete")
+	}
+	// A stray packet for the finished flow must be ignored (no panic).
+	f.Hosts[1].Receive(&netsim.Packet{Kind: netsim.KindData, Flow: first.ID, Size: 100}, f.Hosts[1].Port)
+	// New flow works fine.
+	second := dcqcn.Start(net, f.Hosts[0], f.Hosts[1], 10*simtime.KB, dcqcn.DefaultParams(25*simtime.Gbps), nil)
+	net.RunUntil(simtime.Time(20 * simtime.Millisecond))
+	if !second.Done() {
+		t.Fatal("second flow incomplete after teardown of the first")
+	}
+}

@@ -1,0 +1,77 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// BenchmarkScheduleAndRun measures raw scheduler throughput: the event rate
+// bounds every simulation in this repository (~2 events per packet-hop).
+func BenchmarkScheduleAndRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.After(simtime.Duration(rng.Intn(1000)), func() {})
+		if q.Len() > 1024 {
+			for q.Step() {
+			}
+		}
+	}
+	for q.Step() {
+	}
+}
+
+// BenchmarkTimerChurn measures the cancel-heavy pattern transports use
+// (every ACK re-arms the RTO).
+func BenchmarkTimerChurn(b *testing.B) {
+	q := New()
+	var ev *Event
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ev != nil {
+			ev.Cancel()
+		}
+		ev = q.After(1000, func() {})
+		if i%256 == 0 {
+			q.RunUntil(q.Now().Add(1))
+		}
+	}
+	q.Run()
+}
+
+func TestHeapStressMixedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := New()
+	var fired int
+	var cancelled int
+	var pending []*Event
+	for i := 0; i < 20000; i++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			pending = append(pending, q.After(simtime.Duration(rng.Intn(5000)), func() { fired++ }))
+		case 2:
+			if len(pending) > 0 {
+				k := rng.Intn(len(pending))
+				if !pending[k].Cancelled() {
+					pending[k].Cancel()
+					cancelled++
+				}
+				pending = append(pending[:k], pending[k+1:]...)
+			}
+		}
+		if i%1000 == 999 {
+			q.RunUntil(q.Now().Add(500))
+		}
+	}
+	q.Run()
+	// Some cancels target already-fired events, so we can only bound below.
+	if fired == 0 || cancelled == 0 {
+		t.Fatalf("stress did not exercise both paths: fired=%d cancelled=%d", fired, cancelled)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("%d events left after Run", q.Len())
+	}
+}

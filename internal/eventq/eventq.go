@@ -1,0 +1,152 @@
+// Package eventq implements the deterministic discrete-event scheduler that
+// drives the simulator.
+//
+// Events are ordered by virtual time with FIFO tie-breaking (a monotonically
+// increasing sequence number), so two runs with the same seed replay
+// identically. Events may be cancelled, which is implemented by lazy deletion:
+// a cancelled event stays in the heap but its callback is skipped when popped.
+package eventq
+
+import (
+	"container/heap"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel pending timers.
+type Event struct {
+	at        simtime.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// At returns the virtual time the event fires at.
+func (e *Event) At() simtime.Time { return e.at }
+
+// Cancel marks the event so its callback will not run. Cancelling an event
+// that already fired or was cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+		e.fn = nil // release captured state early
+	}
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a discrete-event scheduler. The zero value is ready to use.
+// Queue is not safe for concurrent use; the simulator is single-threaded by
+// design so that runs are reproducible.
+type Queue struct {
+	h         eventHeap
+	seq       uint64
+	now       simtime.Time
+	processed uint64
+}
+
+// New returns an empty scheduler positioned at the simulation epoch.
+func New() *Queue { return &Queue{} }
+
+// Now returns the current virtual time.
+func (q *Queue) Now() simtime.Time { return q.now }
+
+// Len returns the number of pending events, including cancelled ones that
+// have not yet been reaped.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Processed returns the number of events executed so far.
+func (q *Queue) Processed() uint64 { return q.processed }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it always indicates a simulator bug and would otherwise corrupt causality.
+func (q *Queue) At(t simtime.Time, fn func()) *Event {
+	if t < q.now {
+		panic("eventq: scheduling event in the past")
+	}
+	e := &Event{at: t, seq: q.seq, fn: fn}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// After schedules fn to run d after the current time. Negative d is clamped
+// to zero.
+func (q *Queue) After(d simtime.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return q.At(q.now.Add(d), fn)
+}
+
+// Step executes the earliest pending event and advances the clock to it.
+// It returns false when no runnable event remains.
+func (q *Queue) Step() bool {
+	for len(q.h) > 0 {
+		e := heap.Pop(&q.h).(*Event)
+		if e.cancelled {
+			continue
+		}
+		q.now = e.at
+		fn := e.fn
+		e.fn = nil
+		q.processed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events with time <= deadline, then advances the clock to
+// the deadline. Events scheduled during execution are honored if they fall
+// within the horizon.
+func (q *Queue) RunUntil(deadline simtime.Time) {
+	for len(q.h) > 0 {
+		e := q.h[0]
+		if e.at > deadline {
+			break
+		}
+		q.Step()
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+}
+
+// Run executes events until none remain.
+func (q *Queue) Run() {
+	for q.Step() {
+	}
+}

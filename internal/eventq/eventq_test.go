@@ -1,0 +1,158 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+func TestOrdering(t *testing.T) {
+	q := New()
+	var got []int
+	q.At(30, func() { got = append(got, 3) })
+	q.At(10, func() { got = append(got, 1) })
+	q.At(20, func() { got = append(got, 2) })
+	q.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if q.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", q.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	q := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(100, func() { got = append(got, i) })
+	}
+	q.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	q := New()
+	ran := false
+	e := q.At(10, func() { ran = true })
+	e.Cancel()
+	q.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	// Double cancel and nil cancel are safe.
+	e.Cancel()
+	var nilEv *Event
+	nilEv.Cancel()
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	q := New()
+	q.At(5, func() {})
+	q.Step()
+	ran := false
+	q.After(-100, func() { ran = true })
+	q.Step()
+	if !ran || q.Now() != 5 {
+		t.Fatalf("negative After: ran=%v now=%v", ran, q.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	q := New()
+	q.At(10, func() {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	q.At(5, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	q := New()
+	var got []simtime.Time
+	for _, at := range []simtime.Time{5, 15, 25} {
+		at := at
+		q.At(at, func() { got = append(got, at) })
+	}
+	q.RunUntil(20)
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(20) ran %d events, want 2", len(got))
+	}
+	if q.Now() != 20 {
+		t.Fatalf("clock = %v, want 20 after RunUntil", q.Now())
+	}
+	q.RunUntil(30)
+	if len(got) != 3 {
+		t.Fatal("remaining event did not run")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// Events scheduled from within events must be honored within RunUntil's
+	// horizon.
+	q := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		q.After(10, tick)
+	}
+	q.At(0, tick)
+	q.RunUntil(95)
+	if count != 10 { // t=0,10,...,90
+		t.Fatalf("ticks = %d, want 10", count)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	q := New()
+	for i := 0; i < 5; i++ {
+		q.At(simtime.Time(i), func() {})
+	}
+	e := q.At(100, func() {})
+	e.Cancel()
+	q.Run()
+	if q.Processed() != 5 {
+		t.Fatalf("Processed = %d, want 5 (cancelled events don't count)", q.Processed())
+	}
+}
+
+// TestRandomOrderProperty: regardless of insertion order, events fire in
+// nondecreasing time order.
+func TestRandomOrderProperty(t *testing.T) {
+	f := func(times []uint16, seed int64) bool {
+		if len(times) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(times), func(i, j int) { times[i], times[j] = times[j], times[i] })
+		q := New()
+		var fired []simtime.Time
+		for _, at := range times {
+			at := simtime.Time(at)
+			q.At(at, func() { fired = append(fired, at) })
+		}
+		q.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

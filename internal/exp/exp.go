@@ -1,0 +1,373 @@
+// Package exp contains one runner per table/figure of the paper's
+// evaluation (§2.2 motivation figures, §5 testbed and simulation figures,
+// and the appendix ablation), plus the ablation studies DESIGN.md calls out.
+// Each runner builds the scenario, deploys a policy (static ECN settings or
+// ACC), drives the workload, and returns formatted tables whose rows mirror
+// what the paper reports.
+//
+// Scale: runs are scaled to finish in seconds (milliseconds of virtual time,
+// thousands of flows) while preserving the paper's *shape* — who wins and by
+// roughly what factor. Options.Scale stretches durations and fabric sizes
+// toward paper scale.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/accnet/acc/internal/acc"
+	"github.com/accnet/acc/internal/dcqcn"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/red"
+	"github.com/accnet/acc/internal/rl"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/stats"
+	"github.com/accnet/acc/internal/tcp"
+	"github.com/accnet/acc/internal/topo"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	Seed int64
+	// Scale multiplies experiment durations (1 = quick defaults; the paper's
+	// timescales correspond to Scale >> 1).
+	Scale float64
+	// OfflineEpisodes overrides pre-training length for ACC policies
+	// (0 = package default).
+	OfflineEpisodes int
+	// Verbose enables progress output on stdout.
+	Verbose bool
+}
+
+// DefaultOptions returns quick-run settings.
+func DefaultOptions() Options { return Options{Seed: 1, Scale: 1} }
+
+func (o Options) dur(base simtime.Duration) simtime.Duration {
+	if o.Scale <= 0 {
+		return base
+	}
+	return simtime.Duration(float64(base) * o.Scale)
+}
+
+// Table is a regenerated paper table/figure: column headers plus rows.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+	Notes []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		case simtime.Duration:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Cols)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Cols, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner produces the tables for one experiment.
+type Runner func(Options) []*Table
+
+// registry of experiments by id (fig1, fig2, ... table1, ablation-*).
+var registry = map[string]struct {
+	Desc string
+	Run  Runner
+}{}
+
+func register(id, desc string, r Runner) {
+	registry[id] = struct {
+		Desc string
+		Run  Runner
+	}{desc, r}
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, o Options) ([]*Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (use List)", id)
+	}
+	return e.Run(o), nil
+}
+
+// List returns the registered experiment ids and descriptions, sorted.
+func List() [][2]string {
+	var out [][2]string
+	for id, e := range registry {
+		out = append(out, [2]string{id, e.Desc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// ----- policies -----
+
+// Policy is one row of a comparison: a static ECN setting, distributed ACC,
+// or centralized C-ACC.
+type Policy struct {
+	Name   string
+	Static *red.Config
+	ACC    bool
+	CACC   bool
+	// FreshModel forces ACC to start untrained (Figure 16's "aggressive
+	// version without offline-training").
+	FreshModel bool
+	// Reward overrides the tuner reward function (Figure 17 ablation).
+	Reward acc.RewardFunc
+	// HistoryK overrides the tuner history depth (ablation).
+	HistoryK int
+	// NoDoubleDQN uses the plain DQN target (ablation).
+	NoDoubleDQN bool
+	// NoExchange disables the global replay exchange (ablation).
+	NoExchange bool
+	// NoBusyIdle disables the §4.2 inference gating (ablation).
+	NoBusyIdle bool
+	// Period overrides the action interval ΔT (ablation).
+	Period simtime.Duration
+	// TunePrios restricts ACC to specific traffic classes (fig8 tunes only
+	// the RDMA class, as deployed).
+	TunePrios []int
+}
+
+// Static policies used throughout the evaluation (§5.1).
+func secn0() Policy { c := red.SECN0(); return Policy{Name: "SECN0", Static: &c} }
+func secn1() Policy { c := red.SECN1(); return Policy{Name: "SECN1", Static: &c} }
+func secn2(bwGbps float64) Policy {
+	c := red.SECN2(bwGbps)
+	return Policy{Name: "SECN2", Static: &c}
+}
+func vendor() Policy { c := red.VendorDefault(); return Policy{Name: "SECN", Static: &c} }
+func accPolicy() Policy {
+	return Policy{Name: "ACC", ACC: true}
+}
+
+// pretrainedMu guards the lazily trained shared model cache keyed by
+// episode count.
+var (
+	pretrainedMu sync.Mutex
+	pretrained   = map[int]*rl.MLP{}
+)
+
+// PretrainedModel returns a cached offline-trained model (§4.3). Training
+// happens once per process per episode budget.
+func PretrainedModel(episodes int) *rl.MLP {
+	if episodes <= 0 {
+		episodes = 24
+	}
+	pretrainedMu.Lock()
+	defer pretrainedMu.Unlock()
+	if m, ok := pretrained[episodes]; ok {
+		return m
+	}
+	cfg := acc.DefaultOfflineConfig()
+	cfg.Episodes = episodes
+	cfg.EpisodeTime = 10 * simtime.Millisecond
+	agent := acc.TrainOffline(cfg)
+	pretrained[episodes] = agent.Eval
+	return agent.Eval
+}
+
+// deploy applies a policy to a fabric and returns a stopper.
+func deploy(net *netsim.Network, fab *topo.Fabric, p Policy, o Options) func() {
+	switch {
+	case p.Static != nil:
+		for _, sw := range fab.Switches() {
+			sw.SetRED(*p.Static)
+		}
+		return func() {}
+	case p.CACC:
+		cc := acc.DefaultCentralizedConfig()
+		c := acc.NewCentralized(net, fab.Leaves, fab.Spines, cc)
+		return c.Stop
+	case p.ACC:
+		scfg := acc.DefaultSystemConfig()
+		if p.Reward != nil {
+			scfg.Tuner.Reward = p.Reward
+		}
+		if p.HistoryK > 0 {
+			scfg.Tuner.HistoryK = p.HistoryK
+		}
+		if p.Period > 0 {
+			scfg.Tuner.Period = p.Period
+		}
+		if p.NoBusyIdle {
+			scfg.Tuner.BusyIdle = false
+		}
+		if p.NoExchange {
+			scfg.ExchangePeriod = 0
+		}
+		if len(p.TunePrios) > 0 {
+			scfg.Tuner.Prios = p.TunePrios
+		}
+		ac := rl.DefaultAgentConfig(scfg.Tuner.StateDim(), len(scfg.Tuner.Template))
+		if p.NoDoubleDQN {
+			ac.DoubleDQN = false
+		}
+		var model *rl.MLP
+		if !p.FreshModel && p.HistoryK == 0 && p.Reward == nil {
+			// Only the paper-shaped state/reward can reuse the shared model.
+			model = PretrainedModel(o.OfflineEpisodes)
+		}
+		if model != nil {
+			// Deploying a pre-trained model: online learning is gentle
+			// fine-tuning, not re-training — large steps at simulation
+			// timescales destroy the offline policy.
+			ac.LR = 1e-4
+			scfg.Tuner.TrainEvery = 4
+		}
+		scfg.Tuner.Agent = ac
+		sys := acc.NewSystem(net, fab.Switches(), model, scfg)
+		if model != nil {
+			// Pre-trained deployment keeps only a sliver of exploration
+			// (§4.3: fast exponential decay to avoid unstable exploring).
+			sys.SetEpsilon(0.01)
+		}
+		return sys.Stop
+	default:
+		return func() {}
+	}
+}
+
+// ----- transport starters -----
+
+// rdmaStarter returns a StartFlowFunc launching DCQCN flows and recording
+// completions into col (which may be nil).
+func rdmaStarter(net *netsim.Network, bw simtime.Rate, col *stats.FCTCollector) func(src, dst *netsim.Host, size int64, onDone func()) {
+	params := dcqcn.DefaultParams(bw)
+	return func(src, dst *netsim.Host, size int64, onDone func()) {
+		dcqcn.Start(net, src, dst, size, params, func(f *dcqcn.Flow) {
+			if col != nil {
+				col.AddFlow(f.Size, f.Start, f.End, "rdma")
+			}
+			if onDone != nil {
+				onDone()
+			}
+		})
+	}
+}
+
+// tcpStarter is the TCP analogue of rdmaStarter, using DCTCP on prio 0.
+func tcpStarter(net *netsim.Network, col *stats.FCTCollector, ecn bool) func(src, dst *netsim.Host, size int64, onDone func()) {
+	params := tcp.DefaultParams()
+	params.ECN = ecn
+	return func(src, dst *netsim.Host, size int64, onDone func()) {
+		tcp.Start(net, src, dst, size, params, func(f *tcp.Flow) {
+			if col != nil {
+				col.AddFlow(f.Size, f.Start, f.End, "tcp")
+			}
+			if onDone != nil {
+				onDone()
+			}
+		})
+	}
+}
+
+// forEachParallel runs fn(i) for i in [0,n) across CPUs. Each experiment
+// run owns an independent Network (and RNG), so cross-run parallelism keeps
+// per-run determinism while cutting wall time.
+func forEachParallel(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// normalize returns x/base guarding against zero.
+func normalize(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return x / base
+}
+
+// gbps formats a rate in Gbit/s.
+func gbps(bytes uint64, d simtime.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / d.Seconds() / 1e9
+}
+
+// kb formats bytes as KB.
+func kb(b float64) float64 { return b / 1024 }

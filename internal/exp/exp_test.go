@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		Title: "demo",
+		Cols:  []string{"a", "bb"},
+	}
+	tbl.AddRow("x", 1.5)
+	tbl.AddRow(2*simtime.Millisecond, "y")
+	tbl.Notes = append(tbl.Notes, "a note")
+	s := tbl.String()
+	for _, want := range []string{"== demo ==", "a ", "bb", "1.5", "2ms", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	csv := tbl.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "x,1.5\n") {
+		t.Errorf("CSV rows wrong: %q", csv)
+	}
+}
+
+func TestRegistryCoversPaper(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"table1", "resources",
+		"ablation-history", "ablation-ddqn", "ablation-exchange",
+		"ablation-busyidle", "ablation-period",
+	}
+	have := map[string]bool{}
+	for _, e := range List() {
+		have[e[0]] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", DefaultOptions()); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if normalize(4, 2) != 2 {
+		t.Fatal("normalize wrong")
+	}
+	if normalize(4, 0) != 0 {
+		t.Fatal("normalize by zero must be 0")
+	}
+}
+
+func TestGbpsAndKB(t *testing.T) {
+	if got := gbps(1250_000_000, simtime.Second); got < 9.99 || got > 10.01 {
+		t.Fatalf("gbps = %v, want 10", got)
+	}
+	if gbps(100, 0) != 0 {
+		t.Fatal("gbps zero duration")
+	}
+	if kb(2048) != 2 {
+		t.Fatal("kb wrong")
+	}
+}
+
+// TestCheapExperimentsProduceTables runs the fast deterministic experiments
+// end to end.
+func TestCheapExperimentsProduceTables(t *testing.T) {
+	for _, id := range []string{"table1", "resources"} {
+		tables, err := Run(id, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// TestFig1SmallScale runs a miniature fig1 to exercise a full
+// simulation-backed experiment in the unit-test suite.
+func TestFig1SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	o := DefaultOptions()
+	o.Scale = 0.25
+	tables, err := Run("fig1", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("fig1 produced %d tables, want 2", len(tables))
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) != 6 {
+			t.Fatalf("fig1 table %q has %d rows, want 6 threshold points", tbl.Title, len(tbl.Rows))
+		}
+	}
+}
+
+// TestPoliciesConstructible sanity-checks the policy constructors.
+func TestPoliciesConstructible(t *testing.T) {
+	for _, p := range []Policy{secn0(), secn1(), secn2(25), vendor(), accPolicy()} {
+		if p.Name == "" {
+			t.Error("policy without name")
+		}
+		if p.Static != nil {
+			if err := p.Static.Validate(); err != nil {
+				t.Errorf("%s: %v", p.Name, err)
+			}
+		}
+	}
+}

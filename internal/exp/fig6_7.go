@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/stats"
+	"github.com/accnet/acc/internal/topo"
+	"github.com/accnet/acc/internal/workload"
+)
+
+func init() {
+	register("fig6", "ACC adapts across traffic phase changes (queue & utilization timeline)", runFig6)
+	register("fig7", "end-to-end FCT at 20%/60% load by message size; queue and ToR throughput", runFig7)
+}
+
+// runFig6 reproduces Figure 6: the incast degree and flow count change every
+// phase; static settings match only some phases while ACC adapts. Reported
+// per phase: average queue depth and average utilization of the hot port.
+func runFig6(o Options) []*Table {
+	type phase struct {
+		senders, flows int
+	}
+	// Scaled version of "randomly change the number of flows and the number
+	// of Incast senders every 100 seconds".
+	phases := []phase{{4, 2}, {12, 16}, {8, 4}}
+	phaseDur := o.dur(8 * simtime.Millisecond)
+
+	policies := []Policy{accPolicy(), secn1(), secn2(25)}
+	t := &Table{
+		Title: "Figure 6: adaptation to heterogeneous traffic (per-phase hot-port stats)",
+		Cols:  []string{"policy", "phase", "senders x flows", "avg queue(KB)", "utilization"},
+	}
+	summary := &Table{
+		Title: "Figure 6 (summary over all phases)",
+		Cols:  []string{"policy", "avg queue(KB)", "avg utilization"},
+	}
+	for _, p := range policies {
+		net := netsim.New(o.Seed)
+		fab := topo.Star(net, 13, topo.DefaultConfig())
+		recv := fab.Hosts[12]
+		stop := deploy(net, fab, p, o)
+		start := rdmaStarter(net, 25*simtime.Gbps, nil)
+		hot := fab.Leaves[0].Ports[12]
+		hq := hot.Queues[0]
+
+		// Each phase launches its incast; flows from the previous phase
+		// stop being renewed (generation routines check the active phase).
+		active := 0
+		launch := func(idx int, ph phase) func() {
+			return func() {
+				active = idx
+				for _, s := range fab.Hosts[:ph.senders] {
+					s := s
+					for i := 0; i < ph.flows; i++ {
+						var loop func()
+						loop = func() {
+							start(s, recv, simtime.MB, func() {
+								if active == idx {
+									net.Q.After(workload.ExpJitter(net.Rng, 50*simtime.Microsecond), loop)
+								}
+							})
+						}
+						loop()
+					}
+				}
+			}
+		}
+		var sched []workload.Phase
+		for i, ph := range phases {
+			sched = append(sched, workload.Phase{Duration: phaseDur, Run: launch(i, ph)})
+		}
+		workload.RunPhases(net, sched)
+
+		var totalQ, totalU float64
+		for i, ph := range phases {
+			startT := simtime.Time(simtime.Duration(i) * phaseDur)
+			net.RunUntil(startT)
+			in0, tx0 := hq.ByteTimeIntegral(), hot.TxBytesTotal
+			net.RunUntil(startT.Add(phaseDur))
+			avgQ := (hq.ByteTimeIntegral() - in0) / phaseDur.Seconds()
+			util := hot.Utilization(hot.TxBytesTotal-tx0, phaseDur)
+			totalQ += avgQ
+			totalU += util
+			t.AddRow(p.Name, i+1, fmt.Sprintf("%dx%d", ph.senders, ph.flows), kb(avgQ), util)
+		}
+		summary.AddRow(p.Name, kb(totalQ/float64(len(phases))), totalU/float64(len(phases)))
+		stop()
+	}
+	summary.Notes = append(summary.Notes,
+		"paper: ACC reduces queue length by an order of magnitude and improves avg throughput 26.1%")
+	return []*Table{t, summary}
+}
+
+// runFig7 reproduces Figure 7: two senders to one receiver with message
+// sizes {1KB,10KB,100KB,1MB,10MB} at 20% and 60% load. Reports average and
+// tail FCT per size (normalized to ACC), plus the leaf queue (7c) and ToR
+// throughput (7d).
+func runFig7(o Options) []*Table {
+	sizes := []int64{simtime.KB, 10 * simtime.KB, 100 * simtime.KB, simtime.MB, 10 * simtime.MB}
+	sizeNames := []string{"1KB", "10KB", "100KB", "1MB", "10MB"}
+	loads := []float64{0.2, 0.6}
+	policies := []Policy{accPolicy(), secn1(), secn2(25)}
+
+	var tables []*Table
+	queueTbl := &Table{
+		Title: "Figure 7(c): leaf queue length at 60% load",
+		Cols:  []string{"policy", "avg queue(KB)", "std dev(KB)"},
+	}
+	tputTbl := &Table{
+		Title: "Figure 7(d): ToR switch throughput at 60% load",
+		Cols:  []string{"policy", "throughput(Gbps)"},
+	}
+
+	for _, load := range loads {
+		// summaries[size][policy]
+		avg := make([][]float64, len(sizes))
+		p99 := make([][]float64, len(sizes))
+		p999 := make([][]float64, len(sizes))
+		for i := range sizes {
+			avg[i] = make([]float64, len(policies))
+			p99[i] = make([]float64, len(policies))
+			p999[i] = make([]float64, len(policies))
+		}
+		for pi, p := range policies {
+			net := netsim.New(o.Seed)
+			fab := topo.Star(net, 3, topo.DefaultConfig())
+			stop := deploy(net, fab, p, o)
+			var col stats.FCTCollector
+			start := rdmaStarter(net, 25*simtime.Gbps, &col)
+			recv := fab.Hosts[2]
+
+			// Random messages from both senders, Poisson at the target load
+			// of the receiver's 25G link.
+			rng := rand.New(rand.NewSource(o.Seed + 77))
+			var meanSize float64
+			for _, s := range sizes {
+				meanSize += float64(s)
+			}
+			meanSize /= float64(len(sizes))
+			lambda := load * 25e9 / 8 / meanSize
+			var arrive func()
+			arrive = func() {
+				src := fab.Hosts[rng.Intn(2)]
+				size := sizes[rng.Intn(len(sizes))]
+				start(src, recv, size, nil)
+				net.Q.After(simtime.Duration(rng.ExpFloat64()/lambda*1e9), arrive)
+			}
+			net.Q.After(0, arrive)
+
+			hot := fab.Leaves[0].Ports[2]
+			hq := hot.Queues[0]
+			var qmon *stats.QueueMonitor
+			if load == 0.6 {
+				qmon = stats.MonitorQueue(net, hq, 20*simtime.Microsecond)
+			}
+			dur := o.dur(20 * simtime.Millisecond)
+			net.RunUntil(simtime.Time(dur))
+			stop()
+
+			for si, sz := range sizes {
+				recs := col.Filter(func(r stats.FlowRecord) bool { return r.Size == sz })
+				s := stats.Summarize(recs)
+				avg[si][pi] = float64(s.Avg)
+				p99[si][pi] = float64(s.P99)
+				p999[si][pi] = float64(s.P999)
+			}
+			if load == 0.6 {
+				queueTbl.AddRow(p.Name, kb(qmon.Series.Avg()), kb(qmon.Series.Std()))
+				tputTbl.AddRow(p.Name, gbps(hot.TxBytesTotal, dur))
+				qmon.Stop()
+			}
+		}
+		t := &Table{
+			Title: fmt.Sprintf("Figure 7: FCT at %.0f%% load (normalized to ACC)", load*100),
+			Cols:  []string{"size", "metric", "ACC", "SECN1", "SECN2"},
+		}
+		cell := func(vals []float64, pi int) any {
+			if vals[pi] == 0 || vals[0] == 0 {
+				return "n/a" // no completed flows of this size for a policy
+			}
+			return normalize(vals[pi], vals[0])
+		}
+		for si := range sizes {
+			if avg[si][0] == 0 {
+				continue
+			}
+			t.AddRow(sizeNames[si], "avg", 1.0, cell(avg[si], 1), cell(avg[si], 2))
+			t.AddRow(sizeNames[si], "p99", 1.0, cell(p99[si], 1), cell(p99[si], 2))
+			t.AddRow(sizeNames[si], "p99.9", 1.0, cell(p999[si], 1), cell(p999[si], 2))
+		}
+		tables = append(tables, t)
+	}
+	tables = append(tables, queueTbl, tputTbl)
+	return tables
+}

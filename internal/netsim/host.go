@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// Endpoint consumes packets addressed to a host for one flow. Transport
+// implementations (DCQCN, DCTCP) register endpoints on hosts.
+type Endpoint interface {
+	Handle(pkt *Packet)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(*Packet)
+
+// Handle implements Endpoint.
+func (f EndpointFunc) Handle(pkt *Packet) { f(pkt) }
+
+// Host is an end server with a single NIC port. Transports enqueue packets
+// through Send; inbound packets are dispatched to the Endpoint registered
+// for their flow.
+type Host struct {
+	id   int
+	name string
+	net  *Network
+	Port *Port
+
+	endpoints map[FlowID]Endpoint
+
+	// PauseHooks are notified when the NIC's pause state changes, letting
+	// rate-based transports observe PFC back-pressure.
+	PauseHooks []func(prio int, paused bool)
+}
+
+// NewHost creates a host and registers it with the network.
+func NewHost(net *Network, name string) *Host {
+	h := &Host{name: name, net: net, endpoints: make(map[FlowID]Endpoint)}
+	h.id = net.register(h)
+	return h
+}
+
+// ID returns the node id (also the host's address for routing).
+func (h *Host) ID() int { return h.id }
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Net returns the owning network.
+func (h *Host) Net() *Network { return h.net }
+
+// AttachPort gives the host its NIC port with the given line rate and cable
+// delay. Weights configure per-priority NIC egress queues (nil = single
+// queue).
+func (h *Host) AttachPort(bw simtime.Rate, delay simtime.Duration, weights []int) *Port {
+	h.Port = newPort(h.net, h, 0, bw, delay, weights)
+	return h.Port
+}
+
+// Register binds an endpoint to a flow id for inbound dispatch.
+func (h *Host) Register(f FlowID, e Endpoint) { h.endpoints[f] = e }
+
+// Unregister removes a flow binding.
+func (h *Host) Unregister(f FlowID) { delete(h.endpoints, f) }
+
+// Send enqueues a packet on the NIC egress queue for its priority.
+func (h *Host) Send(pkt *Packet) {
+	h.Port.Enqueue(pkt, h.net.Rng)
+}
+
+// Receive implements Node: PFC frames act on the NIC transmitter; everything
+// else is dispatched to the flow's endpoint. Packets for unknown flows are
+// dropped silently (late packets after flow teardown).
+func (h *Host) Receive(pkt *Packet, in *Port) {
+	switch pkt.Kind {
+	case KindPause:
+		in.setPaused(pkt.PausePrio, true)
+		for _, hook := range h.PauseHooks {
+			hook(pkt.PausePrio, true)
+		}
+		return
+	case KindResume:
+		in.setPaused(pkt.PausePrio, false)
+		for _, hook := range h.PauseHooks {
+			hook(pkt.PausePrio, false)
+		}
+		return
+	}
+	if e, ok := h.endpoints[pkt.Flow]; ok {
+		e.Handle(pkt)
+	}
+}

@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"github.com/accnet/acc/internal/eventq"
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// Node is anything attached to the fabric: hosts and switches.
+type Node interface {
+	ID() int
+	Name() string
+	Receive(pkt *Packet, in *Port)
+}
+
+// Network owns the event queue, the node registry, the RNG, and the wiring
+// between ports. One Network is one independent, deterministic simulation.
+type Network struct {
+	Q   *eventq.Queue
+	Rng *rand.Rand
+
+	nodes    []Node
+	nextFlow FlowID
+}
+
+// New creates an empty network seeded deterministically.
+func New(seed int64) *Network {
+	return &Network{
+		Q:   eventq.New(),
+		Rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() simtime.Time { return n.Q.Now() }
+
+// register adds a node and returns its id.
+func (n *Network) register(node Node) int {
+	id := len(n.nodes)
+	n.nodes = append(n.nodes, node)
+	return id
+}
+
+// Node returns the node with the given id.
+func (n *Network) Node(id int) Node { return n.nodes[id] }
+
+// Nodes returns all registered nodes.
+func (n *Network) Nodes() []Node { return n.nodes }
+
+// NextFlowID allocates a fresh globally unique flow id.
+func (n *Network) NextFlowID() FlowID {
+	n.nextFlow++
+	return n.nextFlow
+}
+
+// Connect wires two ports as the ends of one full-duplex link. Both ports
+// must have been created with matching bandwidth/delay by the caller
+// (asymmetric links are permitted but unusual).
+func Connect(a, b *Port) {
+	a.Peer = b
+	b.Peer = a
+}
+
+// Run executes events until the queue drains.
+func (n *Network) Run() { n.Q.Run() }
+
+// RunUntil executes events up to the deadline.
+func (n *Network) RunUntil(t simtime.Time) { n.Q.RunUntil(t) }
+
+// RunFor executes events for a span of virtual time from now.
+func (n *Network) RunFor(d simtime.Duration) { n.Q.RunUntil(n.Now().Add(d)) }

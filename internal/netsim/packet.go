@@ -1,0 +1,88 @@
+// Package netsim is a packet-level discrete-event simulator of a datacenter
+// network: full-duplex links with serialization and propagation delay,
+// shared-buffer switches with per-priority egress queues, WRED/ECN marking,
+// priority flow control (PFC), ECMP forwarding, and hosts that carry
+// transport protocols (DCQCN, DCTCP) implemented in sibling packages.
+//
+// The simulator is single-threaded and deterministic: all randomness flows
+// from the Network's seeded RNG and events are FIFO tie-broken, so a given
+// seed always replays the same run.
+package netsim
+
+import "fmt"
+
+// FlowID identifies a transport flow end to end.
+type FlowID uint64
+
+// Kind discriminates packet roles.
+type Kind uint8
+
+// Packet kinds.
+const (
+	KindData   Kind = iota // transport payload
+	KindAck                // TCP cumulative ACK (echoes ECN)
+	KindCNP                // DCQCN congestion notification packet
+	KindPause              // PFC pause frame (per priority)
+	KindResume             // PFC resume frame (per priority)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	case KindCNP:
+		return "cnp"
+	case KindPause:
+		return "pause"
+	case KindResume:
+		return "resume"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// NumPrio is the number of traffic classes per port, matching the 8
+// priorities of 802.1Qbb PFC.
+const NumPrio = 8
+
+// Packet is one unit on the wire. Packets are heap-allocated per send and
+// travel by pointer; switches annotate the in-flight packet with transient
+// per-hop state (ingress port index) that is only valid within one switch.
+type Packet struct {
+	Kind Kind
+	Flow FlowID
+	Src  int // source host node id
+	Dst  int // destination host node id
+	Prio int // traffic class, 0..NumPrio-1
+	Size int // bytes on the wire, including headers
+
+	// Transport fields.
+	Seq       int64 // first payload byte offset (data) or cumulative ack
+	FlowBytes int64 // total flow size in bytes, carried for FCT accounting
+	Last      bool  // set on the final data packet of a flow
+	Retx      bool  // retransmission (TCP)
+
+	// ECN.
+	ECT bool // ECN-capable transport
+	CE  bool // congestion experienced (set by WRED marking)
+	ECE bool // ECN echo on ACKs (DCTCP feedback)
+
+	// PFC fields (Kind Pause/Resume).
+	PausePrio int
+
+	// inPort is per-switch transient state: the ingress port index at the
+	// switch currently holding the packet, used for PFC buffer accounting.
+	inPort int
+}
+
+// DataHeaderBytes is the protocol overhead added to each data packet's
+// payload (Ethernet+IP+UDP+BTH for RoCE, or Ethernet+IP+TCP).
+const DataHeaderBytes = 48
+
+// CtrlPacketBytes is the wire size of ACK/CNP/PFC control frames.
+const CtrlPacketBytes = 64
+
+// DefaultMTU is the default maximum payload bytes per data packet.
+const DefaultMTU = 1000

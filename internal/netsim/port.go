@@ -1,0 +1,379 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"github.com/accnet/acc/internal/red"
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// EgressQueue is one traffic-class queue at a port, with WRED/ECN marking and
+// the telemetry counters ACC's collector reads (§4.1: total bytes sent,
+// number of ECN-marked packets, egress queue depth).
+type EgressQueue struct {
+	Prio   int
+	Weight int // DWRR weight; bandwidth share is Weight / sum(Weights)
+
+	ECNEnabled bool
+	RED        red.Config
+
+	// InjectLimit, when positive, bounds how many bytes a host-side sender
+	// may keep queued here; senders use CanInject/WhenReady to pace into the
+	// NIC the way per-QP rate limiters share a real NIC port. Zero means
+	// unlimited (switch egress queues).
+	InjectLimit int
+
+	pkts    []*Packet // FIFO; head at index head
+	head    int
+	bytes   int
+	waiters []func()
+	serving bool // a waiter is being served: it may inject past the queue
+
+	// Byte-time integral for exact average-queue-length telemetry: consumers
+	// take (integral delta)/(window) to get mean depth over a window, which
+	// the paper's reward uses instead of instantaneous depth (§3.3).
+	byteTime   float64 // ∫ qlen dt, in byte·seconds
+	lastChange simtime.Time
+	clock      func() simtime.Time
+
+	deficit int  // DWRR deficit counter, bytes
+	inTurn  bool // whether the queue was replenished for the current turn
+
+	// Cumulative counters (monotonic; consumers take deltas).
+	TxBytes       uint64 // bytes fully serialized onto the link
+	TxPackets     uint64
+	TxMarkedBytes uint64 // bytes of packets that left with CE set
+	TxMarkedPkts  uint64
+	EnqBytes      uint64
+	DropPackets   uint64 // WRED drops of non-ECT traffic
+	DropBytes     uint64
+}
+
+// Len returns the number of queued packets.
+func (q *EgressQueue) Len() int { return len(q.pkts) - q.head }
+
+// Bytes returns the instantaneous queue depth in bytes.
+func (q *EgressQueue) Bytes() int { return q.bytes }
+
+// accrue integrates qlen·dt up to the current time.
+func (q *EgressQueue) accrue() {
+	if q.clock == nil {
+		return
+	}
+	now := q.clock()
+	q.byteTime += float64(q.bytes) * now.Sub(q.lastChange).Seconds()
+	q.lastChange = now
+}
+
+// ByteTimeIntegral returns ∫qlen·dt in byte·seconds up to now; divide a
+// delta of this by the window length to get average queue depth.
+func (q *EgressQueue) ByteTimeIntegral() float64 {
+	q.accrue()
+	return q.byteTime
+}
+
+func (q *EgressQueue) push(p *Packet) {
+	q.accrue()
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.Size
+	q.EnqBytes += uint64(p.Size)
+}
+
+func (q *EgressQueue) peek() *Packet { return q.pkts[q.head] }
+
+func (q *EgressQueue) pop() *Packet {
+	q.accrue()
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	q.bytes -= p.Size
+	if q.head == len(q.pkts) {
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	} else if q.head > 1024 && q.head*2 > len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		for i := n; i < len(q.pkts); i++ {
+			q.pkts[i] = nil
+		}
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// Port is one direction-pair attachment point of a node: it owns the egress
+// queues and the transmitter that serializes packets onto the attached link.
+type Port struct {
+	Owner Node
+	Index int   // port index within the owner
+	Peer  *Port // remote end of the link
+
+	Bandwidth simtime.Rate     // line rate of the attached link
+	Delay     simtime.Duration // one-way propagation delay
+
+	Queues []*EgressQueue
+
+	net     *Network
+	busy    bool
+	down    bool
+	paused  [NumPrio]bool
+	rr      int // DWRR round-robin pointer
+	quantum int // base DWRR quantum in bytes (scaled by queue weight)
+
+	// Cumulative counters.
+	TxBytesTotal   uint64
+	RxBytesTotal   uint64
+	PauseRxEvents  uint64 // pause frames received (transmitter-side stalls)
+	PauseTxEvents  uint64 // pause frames sent (receiver-side congestion)
+	PausedDuration simtime.Duration
+	pausedSince    [NumPrio]simtime.Time
+}
+
+// newPort creates a port with one egress queue per entry in weights
+// (prio i gets weights[i]; zero-weight entries are skipped).
+func newPort(net *Network, owner Node, index int, bw simtime.Rate, delay simtime.Duration, weights []int) *Port {
+	p := &Port{
+		Owner:     owner,
+		Index:     index,
+		Bandwidth: bw,
+		Delay:     delay,
+		net:       net,
+		quantum:   2 * DefaultMTU,
+	}
+	for prio, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		p.Queues = append(p.Queues, &EgressQueue{Prio: prio, Weight: w, clock: net.Q.Now})
+	}
+	if len(p.Queues) == 0 {
+		p.Queues = append(p.Queues, &EgressQueue{Prio: 0, Weight: 1, clock: net.Q.Now})
+	}
+	return p
+}
+
+// Queue returns the egress queue serving priority prio, or nil.
+func (p *Port) Queue(prio int) *EgressQueue {
+	for _, q := range p.Queues {
+		if q.Prio == prio {
+			return q
+		}
+	}
+	return nil
+}
+
+// Paused reports whether the given priority is PFC-paused at this port's
+// transmitter.
+func (p *Port) Paused(prio int) bool { return p.paused[prio] }
+
+// IsDown reports whether the port's link is administratively down.
+func (p *Port) IsDown() bool { return p.down }
+
+// SetDown marks both ends of the link up or down (failure injection, the
+// "failure scenarios" of the paper's §2.2 stress testing). Packets already
+// queued stay queued; the transmitter stalls while down and resumes on
+// recovery. Routing (ECMP) skips down links, so traffic reconverges onto
+// the surviving paths.
+func (p *Port) SetDown(down bool) {
+	p.down = down
+	if p.Peer != nil {
+		p.Peer.down = down
+	}
+	if !down {
+		p.trySend()
+		if p.Peer != nil {
+			p.Peer.trySend()
+		}
+	}
+}
+
+// Utilization returns the fraction of capacity used over a window, given the
+// byte delta observed by the caller.
+func (p *Port) Utilization(bytesDelta uint64, window simtime.Duration) float64 {
+	if window <= 0 || p.Bandwidth <= 0 {
+		return 0
+	}
+	return float64(bytesDelta) * 8 / (float64(p.Bandwidth) * window.Seconds())
+}
+
+// Enqueue admits a data packet to the egress queue for its priority, applying
+// WRED/ECN. It returns the verdict so the owning switch can release buffer
+// accounting on drop. Control frames bypass Enqueue entirely.
+func (p *Port) Enqueue(pkt *Packet, rng *rand.Rand) red.Verdict {
+	q := p.Queue(pkt.Prio)
+	if q == nil {
+		// The port has no dedicated queue for this class: map the packet to
+		// the default queue and normalize its priority so that downstream
+		// PFC accounting and pause frames act on the class that actually
+		// carries it (traffic class = egress queue).
+		q = p.Queues[0]
+		pkt.Prio = q.Prio
+	}
+	v := red.Pass
+	if q.ECNEnabled {
+		v = q.RED.Admit(q.bytes, pkt.ECT, rng)
+	}
+	switch v {
+	case red.Drop:
+		q.DropPackets++
+		q.DropBytes += uint64(pkt.Size)
+		return v
+	case red.Mark:
+		pkt.CE = true
+	}
+	q.push(pkt)
+	p.trySend()
+	return v
+}
+
+// CanInject reports whether a sender may enqueue another packet at priority
+// prio. Admission is FIFO-fair: while other senders are parked in the
+// waiter queue, newcomers must line up behind them even if buffer space is
+// momentarily free — otherwise a fast pacer re-grabs every freed slot and
+// starves the rest (per-QP arbitration in real NICs is round-robin).
+func (p *Port) CanInject(prio int) bool {
+	q := p.Queue(prio)
+	if q == nil {
+		q = p.Queues[0]
+	}
+	if q.InjectLimit > 0 && q.bytes >= q.InjectLimit {
+		return false
+	}
+	return q.serving || len(q.waiters) == 0
+}
+
+// WhenReady registers fn to run once the priority's queue has room and fn's
+// turn comes (FIFO). Callbacks must re-check CanInject and may re-register.
+func (p *Port) WhenReady(prio int, fn func()) {
+	q := p.Queue(prio)
+	if q == nil {
+		q = p.Queues[0]
+	}
+	q.waiters = append(q.waiters, fn)
+}
+
+// wakeWaiters serves parked senders in FIFO order while the queue has room.
+// Each waiter may inject one or more packets; a waiter that is still
+// blocked re-registers at the tail, which ends the loop because the queue
+// is full again.
+func (p *Port) wakeWaiters(q *EgressQueue) {
+	for len(q.waiters) > 0 && (q.InjectLimit <= 0 || q.bytes < q.InjectLimit) {
+		w := q.waiters[0]
+		q.waiters[0] = nil
+		q.waiters = q.waiters[1:]
+		q.serving = true
+		w()
+		q.serving = false
+	}
+	if len(q.waiters) == 0 {
+		q.waiters = nil // release backing array
+	}
+}
+
+// setPaused updates PFC pause state for a priority and kicks the transmitter
+// on resume.
+func (p *Port) setPaused(prio int, paused bool) {
+	if p.paused[prio] == paused {
+		return
+	}
+	p.paused[prio] = paused
+	if paused {
+		p.PauseRxEvents++
+		p.pausedSince[prio] = p.net.Now()
+	} else {
+		p.PausedDuration += p.net.Now().Sub(p.pausedSince[prio])
+		p.trySend()
+	}
+}
+
+// nextPacket implements deficit round robin across the port's queues,
+// skipping paused priorities. It returns nil when nothing is transmittable.
+func (p *Port) nextPacket() (*EgressQueue, *Packet) {
+	n := len(p.Queues)
+	if n == 1 {
+		q := p.Queues[0]
+		if q.Len() == 0 || p.paused[q.Prio] {
+			return nil, nil
+		}
+		return q, q.pop()
+	}
+	for i := 0; i < n; i++ {
+		q := p.Queues[p.rr]
+		if q.Len() > 0 && !p.paused[q.Prio] {
+			if !q.inTurn {
+				q.deficit += q.Weight * p.quantum
+				q.inTurn = true
+			}
+			if head := q.peek(); q.deficit >= head.Size {
+				pkt := q.pop()
+				q.deficit -= pkt.Size
+				if q.Len() == 0 {
+					q.deficit = 0
+					q.inTurn = false
+					p.rr = (p.rr + 1) % n
+				}
+				return q, pkt
+			}
+		}
+		q.inTurn = false
+		p.rr = (p.rr + 1) % n
+	}
+	return nil, nil
+}
+
+// trySend starts serializing the next eligible packet if the transmitter is
+// idle.
+func (p *Port) trySend() {
+	if p.busy || p.Peer == nil || p.down {
+		return
+	}
+	q, pkt := p.nextPacket()
+	if pkt == nil {
+		return
+	}
+	p.busy = true
+	p.wakeWaiters(q)
+	txd := simtime.TxTime(pkt.Size, p.Bandwidth)
+	p.net.Q.After(txd, func() {
+		p.busy = false
+		p.TxBytesTotal += uint64(pkt.Size)
+		q.TxBytes += uint64(pkt.Size)
+		q.TxPackets++
+		if pkt.CE {
+			q.TxMarkedBytes += uint64(pkt.Size)
+			q.TxMarkedPkts++
+		}
+		if rel, ok := p.Owner.(bufferReleaser); ok {
+			rel.releaseBuffer(pkt)
+		}
+		p.deliver(pkt)
+		p.trySend()
+	})
+}
+
+// deliver propagates a serialized packet across the link to the peer node.
+func (p *Port) deliver(pkt *Packet) {
+	peer := p.Peer
+	p.net.Q.After(p.Delay, func() {
+		peer.RxBytesTotal += uint64(pkt.Size)
+		peer.Owner.Receive(pkt, peer)
+	})
+}
+
+// SendCtrl transmits a control frame (PFC pause/resume) to the peer,
+// bypassing the egress queues: PFC frames are generated by the MAC and are
+// not subject to data-plane queuing. Serialization of the 64-byte frame is
+// folded into the propagation delay.
+func (p *Port) SendCtrl(pkt *Packet) {
+	if p.Peer == nil {
+		return
+	}
+	p.PauseTxEvents++
+	p.deliver(pkt)
+}
+
+// bufferReleaser is implemented by nodes with shared-buffer accounting
+// (switches) that must release space when a packet finishes serializing.
+type bufferReleaser interface {
+	releaseBuffer(pkt *Packet)
+}

@@ -1,0 +1,263 @@
+package netsim
+
+import (
+	"fmt"
+
+	"github.com/accnet/acc/internal/red"
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// PFCConfig controls priority flow control at a switch, following the
+// dynamic-threshold scheme of the paper's testbed (§5.1): with α=1/8 a pause
+// is asserted when an ingress queue consumes more than α of the remaining
+// free buffer (≈11.1% of the total at the margin).
+type PFCConfig struct {
+	Enabled bool
+	Alpha   float64          // Xoff = Alpha × free buffer
+	XonGap  int              // resume when usage drops XonGap bytes below Xoff
+	Delay   simtime.Duration // pause frame generation+propagation extra delay
+}
+
+// DefaultPFC mirrors the testbed NIC-vendor default.
+func DefaultPFC() PFCConfig {
+	return PFCConfig{Enabled: true, Alpha: 1.0 / 8, XonGap: 2 * (DefaultMTU + DataHeaderBytes)}
+}
+
+// SwitchConfig parameterizes a switch instance.
+type SwitchConfig struct {
+	Name        string
+	BufferBytes int // shared packet buffer across all ports
+	PFC         PFCConfig
+	// ECNPrio marks which priorities run ECN-enabled queues; nil means all.
+	ECNPrio []int
+	// DefaultRED is applied to every ECN-enabled queue at construction.
+	DefaultRED red.Config
+}
+
+// DefaultSwitchConfig uses a 24MB shared buffer (commodity ToR chip scale)
+// and the DCQCN-paper ECN setting as the initial template.
+func DefaultSwitchConfig(name string) SwitchConfig {
+	return SwitchConfig{
+		Name:        name,
+		BufferBytes: 24 * simtime.MB,
+		PFC:         DefaultPFC(),
+		DefaultRED:  red.SECN1(),
+	}
+}
+
+// Switch is a shared-buffer output-queued switch with per-priority egress
+// queues, WRED/ECN marking, PFC, and ECMP forwarding.
+type Switch struct {
+	id   int
+	name string
+	net  *Network
+
+	Ports []*Port
+
+	cfg SwitchConfig
+
+	// routes maps destination host id -> candidate egress ports (ECMP set).
+	routes map[int][]*Port
+
+	// Shared-buffer accounting for PFC: bytes resident per (ingress port,
+	// priority), plus the total.
+	ingUsed    [][]int // [port][prio]
+	totalUsed  int
+	pauseSent  [][]bool // pause currently asserted toward upstream [port][prio]
+	DropsTotal uint64   // buffer-overflow drops
+	MarksTotal uint64   // packets CE-marked at this switch
+}
+
+// NewSwitch creates a switch node and registers it with the network.
+func NewSwitch(net *Network, cfg SwitchConfig) *Switch {
+	if cfg.BufferBytes <= 0 {
+		cfg.BufferBytes = 24 * simtime.MB
+	}
+	s := &Switch{
+		name:   cfg.Name,
+		net:    net,
+		cfg:    cfg,
+		routes: make(map[int][]*Port),
+	}
+	s.id = net.register(s)
+	return s
+}
+
+// ID returns the node id.
+func (s *Switch) ID() int { return s.id }
+
+// Name returns the configured switch name.
+func (s *Switch) Name() string { return s.name }
+
+// Config returns the switch configuration.
+func (s *Switch) Config() SwitchConfig { return s.cfg }
+
+// BufferUsed returns the occupied shared-buffer bytes.
+func (s *Switch) BufferUsed() int { return s.totalUsed }
+
+// ecnEnabled reports whether priority prio runs ECN at this switch.
+func (s *Switch) ecnEnabled(prio int) bool {
+	if s.cfg.ECNPrio == nil {
+		return true
+	}
+	for _, p := range s.cfg.ECNPrio {
+		if p == prio {
+			return true
+		}
+	}
+	return false
+}
+
+// AddPort attaches a new port with the given per-priority DWRR weights
+// (nil means a single priority-0 queue). It returns the port.
+func (s *Switch) AddPort(bw simtime.Rate, delay simtime.Duration, weights []int) *Port {
+	p := newPort(s.net, s, len(s.Ports), bw, delay, weights)
+	for _, q := range p.Queues {
+		if s.ecnEnabled(q.Prio) {
+			q.ECNEnabled = true
+			q.RED = s.cfg.DefaultRED
+		}
+	}
+	s.Ports = append(s.Ports, p)
+	s.ingUsed = append(s.ingUsed, make([]int, NumPrio))
+	s.pauseSent = append(s.pauseSent, make([]bool, NumPrio))
+	return p
+}
+
+// SetRoute sets the ECMP candidate ports toward destination host dst.
+func (s *Switch) SetRoute(dst int, ports ...*Port) {
+	s.routes[dst] = ports
+}
+
+// Routes returns the routing table (for topology validation in tests).
+func (s *Switch) Routes() map[int][]*Port { return s.routes }
+
+// SetRED applies an ECN template to every ECN-enabled queue of every port.
+func (s *Switch) SetRED(c red.Config) {
+	for _, p := range s.Ports {
+		for _, q := range p.Queues {
+			if q.ECNEnabled {
+				q.RED = c
+			}
+		}
+	}
+}
+
+// ecmpPick selects one port from the candidate set by hashing the flow id,
+// keeping a flow on a stable path. Ports whose link is administratively
+// down are excluded (failure injection); nil is returned when no candidate
+// is alive.
+func (s *Switch) ecmpPick(ports []*Port, f FlowID) *Port {
+	alive := ports
+	for _, p := range ports {
+		if p.IsDown() {
+			alive = nil
+			break
+		}
+	}
+	if alive == nil {
+		for _, p := range ports {
+			if !p.IsDown() {
+				alive = append(alive, p)
+			}
+		}
+		if len(alive) == 0 {
+			return nil
+		}
+	}
+	ports = alive
+	if len(ports) == 1 {
+		return ports[0]
+	}
+	h := uint64(f) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	h += uint64(s.id) * 0x94d049bb133111eb
+	return ports[h%uint64(len(ports))]
+}
+
+// Receive implements Node. Data packets are forwarded; PFC frames act on the
+// local transmitter state.
+func (s *Switch) Receive(pkt *Packet, in *Port) {
+	switch pkt.Kind {
+	case KindPause:
+		in.setPaused(pkt.PausePrio, true)
+		return
+	case KindResume:
+		in.setPaused(pkt.PausePrio, false)
+		return
+	}
+
+	ports, ok := s.routes[pkt.Dst]
+	if !ok || len(ports) == 0 {
+		panic(fmt.Sprintf("netsim: switch %s has no route to host %d", s.name, pkt.Dst))
+	}
+	out := s.ecmpPick(ports, pkt.Flow)
+	if out == nil {
+		// Every candidate link is down: blackhole the packet.
+		s.DropsTotal++
+		return
+	}
+
+	// Admit to the shared buffer.
+	if s.totalUsed+pkt.Size > s.cfg.BufferBytes {
+		s.DropsTotal++
+		return
+	}
+	pkt.inPort = in.Index
+	s.ingUsed[in.Index][pkt.Prio] += pkt.Size
+	s.totalUsed += pkt.Size
+
+	wasCE := pkt.CE
+	v := out.Enqueue(pkt, s.net.Rng)
+	if v == red.Drop {
+		// WRED dropped a non-ECT packet: release accounting immediately.
+		s.releaseBuffer(pkt)
+		s.DropsTotal++
+	} else if pkt.CE && !wasCE {
+		s.MarksTotal++
+	}
+
+	if s.cfg.PFC.Enabled {
+		s.checkPause(in, pkt.Prio)
+	}
+}
+
+// checkPause asserts PFC toward the upstream device on port in when the
+// ingress usage for prio exceeds the dynamic Xoff threshold.
+func (s *Switch) checkPause(in *Port, prio int) {
+	if s.pauseSent[in.Index][prio] {
+		return
+	}
+	free := s.cfg.BufferBytes - s.totalUsed
+	xoff := int(s.cfg.PFC.Alpha * float64(free))
+	if s.ingUsed[in.Index][prio] > xoff {
+		s.pauseSent[in.Index][prio] = true
+		in.SendCtrl(&Packet{Kind: KindPause, PausePrio: prio, Size: CtrlPacketBytes, Src: s.id})
+	}
+}
+
+// checkResume lifts a previously asserted pause once ingress usage falls
+// XonGap below the (current) Xoff threshold.
+func (s *Switch) checkResume(portIdx, prio int) {
+	if !s.pauseSent[portIdx][prio] {
+		return
+	}
+	free := s.cfg.BufferBytes - s.totalUsed
+	xoff := int(s.cfg.PFC.Alpha * float64(free))
+	if s.ingUsed[portIdx][prio] <= max(0, xoff-s.cfg.PFC.XonGap) {
+		s.pauseSent[portIdx][prio] = false
+		s.Ports[portIdx].SendCtrl(&Packet{Kind: KindResume, PausePrio: prio, Size: CtrlPacketBytes, Src: s.id})
+	}
+}
+
+// releaseBuffer implements bufferReleaser: called when a packet finishes
+// serializing out of (or is dropped inside) this switch.
+func (s *Switch) releaseBuffer(pkt *Packet) {
+	s.ingUsed[pkt.inPort][pkt.Prio] -= pkt.Size
+	s.totalUsed -= pkt.Size
+	if s.cfg.PFC.Enabled {
+		s.checkResume(pkt.inPort, pkt.Prio)
+	}
+}

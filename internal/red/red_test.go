@@ -1,0 +1,130 @@
+package red
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarkProbRegions(t *testing.T) {
+	c := Config{Kmin: 100, Kmax: 300, Pmax: 0.5}
+	cases := []struct {
+		qlen int
+		want float64
+	}{
+		{0, 0},
+		{99, 0},
+		{100, 0},
+		{200, 0.25},
+		{299, 0.5 * 199 / 200},
+		{300, 1},
+		{1000, 1},
+	}
+	for _, cse := range cases {
+		if got := c.MarkProb(cse.qlen); got != cse.want {
+			t.Errorf("MarkProb(%d) = %v, want %v", cse.qlen, got, cse.want)
+		}
+	}
+}
+
+func TestMarkProbSingleThreshold(t *testing.T) {
+	// Kmin == Kmax is DCTCP-style step marking.
+	c := Config{Kmin: 100, Kmax: 100, Pmax: 1}
+	if c.MarkProb(99) != 0 {
+		t.Fatal("below threshold must not mark")
+	}
+	if c.MarkProb(100) != 1 {
+		t.Fatal("at threshold must mark")
+	}
+}
+
+func TestMarkProbMonotone(t *testing.T) {
+	f := func(kmin, span uint16, q1, q2 uint16) bool {
+		c := Config{Kmin: int(kmin), Kmax: int(kmin) + int(span), Pmax: 0.8}
+		a, b := int(q1), int(q2)
+		if a > b {
+			a, b = b, a
+		}
+		return c.MarkProb(a) <= c.MarkProb(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdmitVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := Config{Kmin: 100, Kmax: 200, Pmax: 1}
+	// Below Kmin: always pass.
+	for i := 0; i < 100; i++ {
+		if v := c.Admit(50, true, rng); v != Pass {
+			t.Fatalf("below Kmin: %v", v)
+		}
+	}
+	// Above Kmax: ECT marked, non-ECT dropped.
+	if v := c.Admit(500, true, rng); v != Mark {
+		t.Fatalf("ECT above Kmax: %v, want mark", v)
+	}
+	if v := c.Admit(500, false, rng); v != Drop {
+		t.Fatalf("non-ECT above Kmax: %v, want drop", v)
+	}
+}
+
+func TestAdmitProbabilisticRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := Config{Kmin: 0, Kmax: 200, Pmax: 0.5}
+	marks := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if c.Admit(100, true, rng) == Mark {
+			marks++
+		}
+	}
+	// Expected probability: 0.5*100/200 = 0.25.
+	frac := float64(marks) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("empirical mark fraction %v, want ~0.25", frac)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Config{Kmin: 10, Kmax: 20, Pmax: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Kmin: -1, Kmax: 10, Pmax: 0.5},
+		{Kmin: 20, Kmax: 10, Pmax: 0.5},
+		{Kmin: 10, Kmax: 20, Pmax: 1.5},
+		{Kmin: 10, Kmax: 20, Pmax: -0.1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated: %+v", i, c)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for name, c := range map[string]Config{
+		"SECN0":  SECN0(),
+		"SECN1":  SECN1(),
+		"SECN2":  SECN2(25),
+		"vendor": VendorDefault(),
+	} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// SECN2 scales with bandwidth (§5.1).
+	at25, at100 := SECN2(25), SECN2(100)
+	if at100.Kmin != 4*at25.Kmin || at100.Kmax != 4*at25.Kmax {
+		t.Fatalf("SECN2 scaling wrong: %+v vs %+v", at25, at100)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Pass.String() != "pass" || Mark.String() != "mark" || Drop.String() != "drop" {
+		t.Fatal("verdict strings wrong")
+	}
+}

@@ -1,0 +1,196 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Transition is one experience tuple {S_t, a_t, r_t, S_t+1} (Algorithm 1,
+// line 6). Terminal is true when S_t+1 ends an episode (no bootstrap).
+type Transition struct {
+	State    []float64 `json:"s"`
+	Action   int       `json:"a"`
+	Reward   float64   `json:"r"`
+	Next     []float64 `json:"s2"`
+	Terminal bool      `json:"t,omitempty"`
+}
+
+// Replay is a fixed-capacity ring-buffer experience memory sampled
+// uniformly, as in DQN.
+type Replay struct {
+	buf  []Transition
+	cap  int
+	next int
+	full bool
+}
+
+// NewReplay creates a replay memory holding up to capacity transitions.
+func NewReplay(capacity int) *Replay {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Replay{buf: make([]Transition, 0, capacity), cap: capacity}
+}
+
+// Add stores one transition, evicting the oldest when full.
+func (r *Replay) Add(t Transition) {
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, t)
+		return
+	}
+	r.full = true
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % r.cap
+}
+
+// Len returns the number of stored transitions.
+func (r *Replay) Len() int { return len(r.buf) }
+
+// Sample draws n transitions uniformly with replacement.
+func (r *Replay) Sample(rng *rand.Rand, n int) []Transition {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = r.buf[rng.Intn(len(r.buf))]
+	}
+	return out
+}
+
+// At returns the i-th stored transition (test/exchange use).
+func (r *Replay) At(i int) Transition { return r.buf[i] }
+
+// AgentConfig parameterizes a DQN/DDQN agent.
+type AgentConfig struct {
+	StateDim   int
+	NumActions int
+	Hidden     []int // hidden layer widths; paper §6 uses {20,40,40}
+
+	Gamma      float64 // discount factor
+	LR         float64 // Adam learning rate
+	BatchSize  int
+	ReplayCap  int
+	TargetSync int // train steps between target-network syncs (Alg.1 line 9)
+
+	// ε-greedy exploration with exponential decay (§4.3: "fast exponential
+	// decay of the exploration probability online").
+	EpsStart float64
+	EpsEnd   float64
+	EpsDecay float64 // per-act multiplicative decay toward EpsEnd
+
+	DoubleDQN bool // decouple selection/evaluation (§3.4, equation 3)
+}
+
+// DefaultAgentConfig returns the paper-shaped configuration for a given
+// state dimension and action-template size.
+func DefaultAgentConfig(stateDim, numActions int) AgentConfig {
+	return AgentConfig{
+		StateDim:   stateDim,
+		NumActions: numActions,
+		Hidden:     []int{20, 40, 40},
+		Gamma:      0.95,
+		LR:         1e-3,
+		BatchSize:  32,
+		ReplayCap:  4096,
+		TargetSync: 100,
+		EpsStart:   1.0,
+		EpsEnd:     0.02,
+		EpsDecay:   0.999,
+		DoubleDQN:  true,
+	}
+}
+
+// Agent is a (Double-)DQN learner.
+type Agent struct {
+	Cfg    AgentConfig
+	Eval   *MLP // θ: evaluation network
+	Target *MLP // θ': target network
+	Memory *Replay
+
+	eps        float64
+	trainSteps int
+}
+
+// NewAgent builds an agent with freshly initialized networks.
+func NewAgent(cfg AgentConfig, rng *rand.Rand) *Agent {
+	sizes := append([]int{cfg.StateDim}, cfg.Hidden...)
+	sizes = append(sizes, cfg.NumActions)
+	eval := NewMLP(sizes, rng)
+	return &Agent{
+		Cfg:    cfg,
+		Eval:   eval,
+		Target: eval.Clone(),
+		Memory: NewReplay(cfg.ReplayCap),
+		eps:    cfg.EpsStart,
+	}
+}
+
+// Epsilon returns the current exploration probability.
+func (a *Agent) Epsilon() float64 { return a.eps }
+
+// SetEpsilon overrides the exploration probability (used when loading a
+// pre-trained model for online operation).
+func (a *Agent) SetEpsilon(e float64) { a.eps = e }
+
+// Act selects an action ε-greedily and decays ε.
+func (a *Agent) Act(state []float64, rng *rand.Rand) int {
+	defer a.decay()
+	if rng.Float64() < a.eps {
+		return rng.Intn(a.Cfg.NumActions)
+	}
+	return Argmax(a.Eval.Forward(state))
+}
+
+// ActGreedy selects the best action without exploring or decaying.
+func (a *Agent) ActGreedy(state []float64) int {
+	return Argmax(a.Eval.Forward(state))
+}
+
+func (a *Agent) decay() {
+	if a.eps > a.Cfg.EpsEnd {
+		a.eps = a.Cfg.EpsEnd + (a.eps-a.Cfg.EpsEnd)*a.Cfg.EpsDecay
+		if a.eps < a.Cfg.EpsEnd {
+			a.eps = a.Cfg.EpsEnd
+		}
+	}
+}
+
+// Observe stores a transition in the replay memory.
+func (a *Agent) Observe(t Transition) { a.Memory.Add(t) }
+
+// TrainStep samples one minibatch and performs an optimization step
+// (Algorithm 1, lines 7–9). It returns the batch loss, or NaN when the
+// memory has fewer transitions than a batch.
+func (a *Agent) TrainStep(rng *rand.Rand) float64 {
+	if a.Memory.Len() < a.Cfg.BatchSize {
+		return math.NaN()
+	}
+	batch := a.Memory.Sample(rng, a.Cfg.BatchSize)
+	samples := make([]Sample, len(batch))
+	for i, t := range batch {
+		y := t.Reward
+		if !t.Terminal {
+			var q float64
+			if a.Cfg.DoubleDQN {
+				// DDQN target: evaluation net selects, target net evaluates.
+				sel := Argmax(a.Eval.Forward(t.Next))
+				q = a.Target.Forward(t.Next)[sel]
+			} else {
+				tq := a.Target.Forward(t.Next)
+				q = tq[Argmax(tq)]
+			}
+			y += a.Cfg.Gamma * q
+		}
+		samples[i] = Sample{X: t.State, Action: t.Action, Target: y}
+	}
+	loss := a.Eval.TrainBatch(samples, a.Cfg.LR)
+	a.trainSteps++
+	if a.Cfg.TargetSync > 0 && a.trainSteps%a.Cfg.TargetSync == 0 {
+		a.Target.CopyFrom(a.Eval)
+	}
+	return loss
+}
+
+// TrainSteps returns how many optimization steps have run.
+func (a *Agent) TrainSteps() int { return a.trainSteps }

@@ -1,0 +1,237 @@
+// Package rl is the deep-reinforcement-learning substrate ACC builds on: a
+// feed-forward neural network trained by backpropagation (SGD or Adam), a
+// uniform experience-replay memory, and DQN / Double-DQN agents with
+// ε-greedy exploration and periodic target-network synchronization — the
+// algorithmic stack of the paper's §3.4.
+//
+// Everything is pure Go over float64 slices; no external tensor library is
+// used (or available) — the paper's network is four small dense layers
+// ({20,40,40,20} nodes, §6 "Resource Consumption"), for which this is ample.
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is a fully connected network with ReLU hidden activations and a
+// linear output layer (Q-values are unbounded).
+type MLP struct {
+	Sizes []int         // layer widths, input first
+	W     [][][]float64 // W[l][out][in]
+	B     [][]float64   // B[l][out]
+
+	// Adam optimizer state (not serialized).
+	mW, vW [][][]float64
+	mB, vB [][]float64
+	adamT  int
+}
+
+// NewMLP builds a network with He-initialized weights.
+func NewMLP(sizes []int, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic("rl: MLP needs at least input and output layers")
+	}
+	m := &MLP{Sizes: append([]int(nil), sizes...)}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		scale := math.Sqrt(2 / float64(in))
+		wl := make([][]float64, out)
+		for o := range wl {
+			row := make([]float64, in)
+			for i := range row {
+				row[i] = rng.NormFloat64() * scale
+			}
+			wl[o] = row
+		}
+		m.W = append(m.W, wl)
+		m.B = append(m.B, make([]float64, out))
+	}
+	m.initAdam()
+	return m
+}
+
+func (m *MLP) initAdam() {
+	m.mW, m.vW = zerosLike3(m.W), zerosLike3(m.W)
+	m.mB, m.vB = zerosLike2(m.B), zerosLike2(m.B)
+	m.adamT = 0
+}
+
+func zerosLike3(w [][][]float64) [][][]float64 {
+	out := make([][][]float64, len(w))
+	for l := range w {
+		out[l] = make([][]float64, len(w[l]))
+		for o := range w[l] {
+			out[l][o] = make([]float64, len(w[l][o]))
+		}
+	}
+	return out
+}
+
+func zerosLike2(b [][]float64) [][]float64 {
+	out := make([][]float64, len(b))
+	for l := range b {
+		out[l] = make([]float64, len(b[l]))
+	}
+	return out
+}
+
+// NumParams returns the number of trainable parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l := range m.W {
+		for o := range m.W[l] {
+			n += len(m.W[l][o])
+		}
+		n += len(m.B[l])
+	}
+	return n
+}
+
+// ForwardFlops estimates multiply-accumulate operations for one inference.
+func (m *MLP) ForwardFlops() int {
+	n := 0
+	for l := 0; l < len(m.Sizes)-1; l++ {
+		n += 2 * m.Sizes[l] * m.Sizes[l+1]
+	}
+	return n
+}
+
+// Forward computes the network output for input x.
+func (m *MLP) Forward(x []float64) []float64 {
+	a := x
+	for l := range m.W {
+		a = m.layerForward(l, a, l < len(m.W)-1)
+	}
+	return a
+}
+
+func (m *MLP) layerForward(l int, in []float64, relu bool) []float64 {
+	out := make([]float64, len(m.W[l]))
+	for o, row := range m.W[l] {
+		s := m.B[l][o]
+		for i, w := range row {
+			s += w * in[i]
+		}
+		if relu && s < 0 {
+			s = 0
+		}
+		out[o] = s
+	}
+	return out
+}
+
+// forwardTrace runs a forward pass keeping activations per layer for
+// backprop. acts[0] is the input; acts[len(W)] the output.
+func (m *MLP) forwardTrace(x []float64) [][]float64 {
+	acts := make([][]float64, len(m.W)+1)
+	acts[0] = x
+	for l := range m.W {
+		acts[l+1] = m.layerForward(l, acts[l], l < len(m.W)-1)
+	}
+	return acts
+}
+
+// Sample is one supervised regression target on a single output unit —
+// exactly the shape Q-learning needs (fit Q(s,a) for the taken action only).
+type Sample struct {
+	X      []float64
+	Action int
+	Target float64
+}
+
+// TrainBatch performs one Adam step on the mean squared error of the batch
+// and returns the batch loss.
+func (m *MLP) TrainBatch(batch []Sample, lr float64) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	gW, gB, loss := m.gradients(batch)
+	m.adamStep(gW, gB, lr)
+	return loss
+}
+
+// adamStep applies the Adam update with standard hyperparameters.
+func (m *MLP) adamStep(gW [][][]float64, gB [][]float64, lr float64) {
+	const (
+		beta1 = 0.9
+		beta2 = 0.999
+		eps   = 1e-8
+	)
+	m.adamT++
+	bc1 := 1 - math.Pow(beta1, float64(m.adamT))
+	bc2 := 1 - math.Pow(beta2, float64(m.adamT))
+	for l := range m.W {
+		for o := range m.W[l] {
+			for i := range m.W[l][o] {
+				g := gW[l][o][i]
+				m.mW[l][o][i] = beta1*m.mW[l][o][i] + (1-beta1)*g
+				m.vW[l][o][i] = beta2*m.vW[l][o][i] + (1-beta2)*g*g
+				m.W[l][o][i] -= lr * (m.mW[l][o][i] / bc1) / (math.Sqrt(m.vW[l][o][i]/bc2) + eps)
+			}
+			g := gB[l][o]
+			m.mB[l][o] = beta1*m.mB[l][o] + (1-beta1)*g
+			m.vB[l][o] = beta2*m.vB[l][o] + (1-beta2)*g*g
+			m.B[l][o] -= lr * (m.mB[l][o] / bc1) / (math.Sqrt(m.vB[l][o]/bc2) + eps)
+		}
+	}
+}
+
+// Clone returns a deep copy (optimizer state reset).
+func (m *MLP) Clone() *MLP {
+	c := &MLP{Sizes: append([]int(nil), m.Sizes...)}
+	c.W = zerosLike3(m.W)
+	c.B = zerosLike2(m.B)
+	c.CopyFrom(m)
+	c.initAdam()
+	return c
+}
+
+// CopyFrom copies weights from other (shapes must match).
+func (m *MLP) CopyFrom(other *MLP) {
+	for l := range m.W {
+		for o := range m.W[l] {
+			copy(m.W[l][o], other.W[l][o])
+		}
+		copy(m.B[l], other.B[l])
+	}
+}
+
+// mlpJSON is the serialized form.
+type mlpJSON struct {
+	Sizes []int         `json:"sizes"`
+	W     [][][]float64 `json:"w"`
+	B     [][]float64   `json:"b"`
+}
+
+// MarshalJSON serializes the architecture and weights.
+func (m *MLP) MarshalJSON() ([]byte, error) {
+	return json.Marshal(mlpJSON{Sizes: m.Sizes, W: m.W, B: m.B})
+}
+
+// UnmarshalJSON restores a network saved with MarshalJSON.
+func (m *MLP) UnmarshalJSON(data []byte) error {
+	var j mlpJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.Sizes) < 2 || len(j.W) != len(j.Sizes)-1 || len(j.B) != len(j.W) {
+		return fmt.Errorf("rl: malformed MLP JSON")
+	}
+	m.Sizes, m.W, m.B = j.Sizes, j.W, j.B
+	m.initAdam()
+	return nil
+}
+
+// Argmax returns the index of the largest value (first on ties).
+func Argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,77 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SamplePrioritized draws n transitions with probability proportional to
+// priority(t)^alpha — the §4.3 online-training refinement where "actions
+// resulting large reward will be prioritised". alpha=0 degenerates to
+// uniform sampling; larger alpha sharpens the preference.
+func (r *Replay) SamplePrioritized(rng *rand.Rand, n int, priority func(Transition) float64, alpha float64) []Transition {
+	if len(r.buf) == 0 || n <= 0 {
+		return nil
+	}
+	// Prefix sums of priorities.
+	prefix := make([]float64, len(r.buf)+1)
+	for i, t := range r.buf {
+		p := priority(t)
+		if p < 0 || math.IsNaN(p) {
+			p = 0
+		}
+		prefix[i+1] = prefix[i] + math.Pow(p+1e-9, alpha)
+	}
+	total := prefix[len(r.buf)]
+	out := make([]Transition, n)
+	for i := range out {
+		u := rng.Float64() * total
+		idx := sort.SearchFloat64s(prefix[1:], u)
+		if idx >= len(r.buf) {
+			idx = len(r.buf) - 1
+		}
+		out[i] = r.buf[idx]
+	}
+	return out
+}
+
+// RewardPriority is the paper's §4.3 heuristic: a transition's priority is
+// its immediate reward (shifted to be positive over the [0,1] reward range).
+func RewardPriority(t Transition) float64 { return t.Reward }
+
+// TrainStepPrioritized is TrainStep with reward-prioritized minibatch
+// sampling. Half of each batch is drawn uniformly so the agent still
+// trains on low-reward (cautionary) experience — pure reward priority
+// would never show it the consequences of bad actions. It returns the
+// batch loss, or NaN when the memory has fewer transitions than a batch.
+func (a *Agent) TrainStepPrioritized(rng *rand.Rand, alpha float64) float64 {
+	if a.Memory.Len() < a.Cfg.BatchSize {
+		return math.NaN()
+	}
+	half := a.Cfg.BatchSize / 2
+	batch := a.Memory.SamplePrioritized(rng, a.Cfg.BatchSize-half, RewardPriority, alpha)
+	batch = append(batch, a.Memory.Sample(rng, half)...)
+	samples := make([]Sample, len(batch))
+	for i, t := range batch {
+		y := t.Reward
+		if !t.Terminal {
+			var q float64
+			if a.Cfg.DoubleDQN {
+				sel := Argmax(a.Eval.Forward(t.Next))
+				q = a.Target.Forward(t.Next)[sel]
+			} else {
+				tq := a.Target.Forward(t.Next)
+				q = tq[Argmax(tq)]
+			}
+			y += a.Cfg.Gamma * q
+		}
+		samples[i] = Sample{X: t.State, Action: t.Action, Target: y}
+	}
+	loss := a.Eval.TrainBatch(samples, a.Cfg.LR)
+	a.trainSteps++
+	if a.Cfg.TargetSync > 0 && a.trainSteps%a.Cfg.TargetSync == 0 {
+		a.Target.CopyFrom(a.Eval)
+	}
+	return loss
+}

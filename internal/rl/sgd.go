@@ -1,0 +1,73 @@
+package rl
+
+// TrainBatchSGD performs one SGD-with-momentum step on the batch's mean
+// squared error and returns the batch loss. It reuses the Adam moment
+// buffers as velocity storage, so a given network should stick to one
+// optimizer for the duration of training.
+func (m *MLP) TrainBatchSGD(batch []Sample, lr, momentum float64) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	gW, gB, loss := m.gradients(batch)
+	for l := range m.W {
+		for o := range m.W[l] {
+			for i := range m.W[l][o] {
+				m.mW[l][o][i] = momentum*m.mW[l][o][i] + gW[l][o][i]
+				m.W[l][o][i] -= lr * m.mW[l][o][i]
+			}
+			m.mB[l][o] = momentum*m.mB[l][o] + gB[l][o]
+			m.B[l][o] -= lr * m.mB[l][o]
+		}
+	}
+	return loss
+}
+
+// gradients computes mean-squared-error gradients over a batch, shared by
+// the Adam and SGD optimizers.
+func (m *MLP) gradients(batch []Sample) ([][][]float64, [][]float64, float64) {
+	gW := zerosLike3(m.W)
+	gB := zerosLike2(m.B)
+	var loss float64
+	inv := 1 / float64(len(batch))
+
+	for _, s := range batch {
+		acts := m.forwardTrace(s.X)
+		out := acts[len(acts)-1]
+		err := out[s.Action] - s.Target
+		loss += err * err
+
+		delta := make([]float64, len(out))
+		delta[s.Action] = 2 * err * inv
+
+		for l := len(m.W) - 1; l >= 0; l-- {
+			in := acts[l]
+			var prev []float64
+			if l > 0 {
+				prev = make([]float64, len(in))
+			}
+			for o, row := range m.W[l] {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				gB[l][o] += d
+				grow := gW[l][o]
+				for i, w := range row {
+					grow[i] += d * in[i]
+					if l > 0 {
+						prev[i] += d * w
+					}
+				}
+			}
+			if l > 0 {
+				for i, a := range in {
+					if a <= 0 {
+						prev[i] = 0
+					}
+				}
+				delta = prev
+			}
+		}
+	}
+	return gW, gB, loss * inv
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// WriteSeriesCSV streams a time series as CSV with the given value-column
+// label (times in seconds).
+func WriteSeriesCSV(w io.Writer, s *Series, valueLabel string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", valueLabel}); err != nil {
+		return err
+	}
+	for i := range s.Values {
+		rec := []string{
+			strconv.FormatFloat(s.Times[i].Seconds(), 'g', -1, 64),
+			strconv.FormatFloat(s.Values[i], 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFCTCSV streams completed-flow records as CSV.
+func WriteFCTCSV(w io.Writer, recs []FlowRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"size_bytes", "start_s", "end_s", "fct_s", "class"}); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		rec := []string{
+			strconv.FormatInt(r.Size, 10),
+			strconv.FormatFloat(r.Start.Seconds(), 'g', -1, 64),
+			strconv.FormatFloat(r.End.Seconds(), 'g', -1, 64),
+			strconv.FormatFloat(r.FCT().Seconds(), 'g', -1, 64),
+			r.Class,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CDFPoints returns the empirical CDF of the records' FCTs as (seconds,
+// cumulative fraction) pairs, at the given resolution (number of knots).
+func CDFPoints(recs []FlowRecord, knots int) [][2]float64 {
+	if len(recs) == 0 || knots < 2 {
+		return nil
+	}
+	fcts := make([]float64, len(recs))
+	for i, r := range recs {
+		fcts[i] = r.FCT().Seconds()
+	}
+	sort.Float64s(fcts)
+	out := make([][2]float64, knots)
+	for i := 0; i < knots; i++ {
+		p := float64(i) / float64(knots-1)
+		out[i] = [2]float64{Percentile(fcts, p), p}
+	}
+	return out
+}
+
+// SummaryRow renders an FCTSummary as CSV-friendly strings.
+func SummaryRow(label string, s FCTSummary) []string {
+	f := func(d simtime.Duration) string { return fmt.Sprintf("%g", d.Seconds()) }
+	return []string{label, strconv.Itoa(s.Count), f(s.Avg), f(s.P50), f(s.P90), f(s.P99), f(s.P999), f(s.Max)}
+}

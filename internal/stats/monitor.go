@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// QueueMonitor samples an egress queue's depth on a fixed period.
+type QueueMonitor struct {
+	Queue  *netsim.EgressQueue
+	Period simtime.Duration
+	Series Series
+
+	net     *netsim.Network
+	stopped bool
+}
+
+// MonitorQueue starts sampling q every period until StopAt (zero = forever).
+func MonitorQueue(net *netsim.Network, q *netsim.EgressQueue, period simtime.Duration) *QueueMonitor {
+	m := &QueueMonitor{Queue: q, Period: period, net: net}
+	m.schedule()
+	return m
+}
+
+func (m *QueueMonitor) schedule() {
+	m.net.Q.After(m.Period, func() {
+		if m.stopped {
+			return
+		}
+		m.Series.Add(m.net.Now(), float64(m.Queue.Bytes()))
+		m.schedule()
+	})
+}
+
+// Stop ends sampling.
+func (m *QueueMonitor) Stop() { m.stopped = true }
+
+// ThroughputMeter samples a port's transmitted bytes to produce a link
+// utilization time series in [0,1].
+type ThroughputMeter struct {
+	Port   *netsim.Port
+	Period simtime.Duration
+	Series Series // utilization per period
+
+	net     *netsim.Network
+	lastTx  uint64
+	stopped bool
+}
+
+// MeterPort starts sampling p's egress utilization every period.
+func MeterPort(net *netsim.Network, p *netsim.Port, period simtime.Duration) *ThroughputMeter {
+	m := &ThroughputMeter{Port: p, Period: period, net: net, lastTx: p.TxBytesTotal}
+	m.schedule()
+	return m
+}
+
+func (m *ThroughputMeter) schedule() {
+	m.net.Q.After(m.Period, func() {
+		if m.stopped {
+			return
+		}
+		cur := m.Port.TxBytesTotal
+		util := m.Port.Utilization(cur-m.lastTx, m.Period)
+		m.lastTx = cur
+		m.Series.Add(m.net.Now(), util)
+		m.schedule()
+	})
+}
+
+// Stop ends sampling.
+func (m *ThroughputMeter) Stop() { m.stopped = true }

@@ -1,0 +1,436 @@
+// Package tcp implements a windowed transport in the DCTCP family for the
+// paper's TCP/RDMA coexistence studies (§5.2). It provides:
+//
+//   - DCTCP mode: ECN-capable data, per-window marked-fraction estimate
+//     alpha, and the cwnd ← cwnd·(1−alpha/2) reduction once per window;
+//   - Reno mode (ECN disabled): drop-tail behaviour with fast retransmit and
+//     multiplicative decrease, modelling the "TCP becomes greedy and may
+//     occupy the whole buffer" regime the paper describes.
+//
+// The control loop is ACK-clocked and therefore reacts on RTT timescales —
+// an order of magnitude slower than DCQCN's CNP loop — which is exactly the
+// asymmetry behind the unfair buffer sharing ACC corrects in Figure 8.
+package tcp
+
+import (
+	"github.com/accnet/acc/internal/eventq"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// Params configures a TCP flow.
+type Params struct {
+	MTU  int
+	Prio int
+
+	ECN bool    // DCTCP marking feedback; false = Reno drop-only
+	G   float64 // DCTCP alpha gain (typically 1/16)
+
+	InitCwndPkts int
+	MaxCwndPkts  int // cap on window (packets); 0 = unlimited
+	RTOMin       simtime.Duration
+	DupAckThresh int
+}
+
+// DefaultParams returns DCTCP-style defaults for datacenter RTTs.
+func DefaultParams() Params {
+	return Params{
+		MTU:          netsim.DefaultMTU,
+		Prio:         0,
+		ECN:          true,
+		G:            1.0 / 16,
+		InitCwndPkts: 10,
+		RTOMin:       time1ms,
+		DupAckThresh: 3,
+	}
+}
+
+const time1ms = simtime.Millisecond
+
+// Flow is one TCP connection transferring Size bytes Src→Dst.
+type Flow struct {
+	ID   netsim.FlowID
+	Src  *netsim.Host
+	Dst  *netsim.Host
+	Size int64
+	P    Params
+
+	Start simtime.Time
+	End   simtime.Time
+
+	net *netsim.Network
+
+	// Sender state (bytes).
+	sndUna     int64   // oldest unacknowledged
+	sndNext    int64   // next new byte to send
+	cwnd       float64 // congestion window, bytes
+	ssthresh   float64
+	inRecovery bool
+	recoverEnd int64
+	dupAcks    int
+
+	// DCTCP state.
+	alpha       float64
+	ackedBytes  int64 // bytes acked in current observation window
+	markedBytes int64
+	winEnd      int64 // sndUna value that closes the observation window
+	cwndCutSeq  int64 // suppress multiple cuts per window
+
+	// RTT estimation.
+	srtt, rttvar simtime.Duration
+	rtoEv        *eventq.Event
+	sendTimes    map[int64]simtime.Time // seq -> first-send time (for RTT)
+
+	// Receiver state.
+	rcvNext int64
+	ooo     map[int64]int // out-of-order segments: seq -> payload len
+	rcvdAll bool
+
+	// Counters.
+	Retransmits uint64
+	Timeouts    uint64
+	ECEAcks     uint64
+
+	onDone func(*Flow)
+	done   bool
+}
+
+// Done reports whether the transfer completed.
+func (f *Flow) Done() bool { return f.done }
+
+// FCT returns the completion time, valid once Done.
+func (f *Flow) FCT() simtime.Duration { return f.End.Sub(f.Start) }
+
+// Cwnd returns the congestion window in bytes.
+func (f *Flow) Cwnd() float64 { return f.cwnd }
+
+// Alpha returns the DCTCP congestion estimate.
+func (f *Flow) Alpha() float64 { return f.alpha }
+
+// Received returns contiguous bytes delivered to the receiver.
+func (f *Flow) Received() int64 { return f.rcvNext }
+
+// Start opens a TCP flow of size bytes at the current virtual time.
+func Start(net *netsim.Network, src, dst *netsim.Host, size int64, p Params, onDone func(*Flow)) *Flow {
+	if p.MTU <= 0 {
+		p.MTU = netsim.DefaultMTU
+	}
+	if p.InitCwndPkts <= 0 {
+		p.InitCwndPkts = 10
+	}
+	if p.DupAckThresh <= 0 {
+		p.DupAckThresh = 3
+	}
+	if p.RTOMin <= 0 {
+		p.RTOMin = time1ms
+	}
+	f := &Flow{
+		ID:        net.NextFlowID(),
+		Src:       src,
+		Dst:       dst,
+		Size:      size,
+		P:         p,
+		Start:     net.Now(),
+		net:       net,
+		cwnd:      float64(p.InitCwndPkts * p.MTU),
+		ssthresh:  1 << 40,
+		sendTimes: make(map[int64]simtime.Time),
+		ooo:       make(map[int64]int),
+		onDone:    onDone,
+	}
+	if p.MaxCwndPkts > 0 {
+		f.ssthresh = float64(p.MaxCwndPkts * p.MTU)
+	}
+	src.Register(f.ID, netsim.EndpointFunc(f.senderHandle))
+	dst.Register(f.ID, netsim.EndpointFunc(f.receiverHandle))
+	f.trySend()
+	return f
+}
+
+func (f *Flow) maxCwnd() float64 {
+	if f.P.MaxCwndPkts > 0 {
+		return float64(f.P.MaxCwndPkts * f.P.MTU)
+	}
+	return 1 << 40
+}
+
+// trySend transmits new data while the window and the NIC admit it.
+func (f *Flow) trySend() {
+	if f.done {
+		return
+	}
+	for f.sndNext < f.Size && f.sndNext < f.sndUna+int64(f.cwnd) {
+		if !f.Src.Port.CanInject(f.P.Prio) {
+			f.Src.Port.WhenReady(f.P.Prio, f.trySend)
+			return
+		}
+		payload := f.P.MTU
+		if rem := f.Size - f.sndNext; int64(payload) > rem {
+			payload = int(rem)
+		}
+		f.emit(f.sndNext, payload, false)
+		f.sndNext += int64(payload)
+	}
+}
+
+// emit sends one segment.
+func (f *Flow) emit(seq int64, payload int, retx bool) {
+	pkt := &netsim.Packet{
+		Kind:      netsim.KindData,
+		Flow:      f.ID,
+		Src:       f.Src.ID(),
+		Dst:       f.Dst.ID(),
+		Prio:      f.P.Prio,
+		Size:      payload + netsim.DataHeaderBytes,
+		Seq:       seq,
+		FlowBytes: f.Size,
+		ECT:       f.P.ECN,
+		Retx:      retx,
+		Last:      seq+int64(payload) >= f.Size,
+	}
+	if retx {
+		f.Retransmits++
+		delete(f.sendTimes, seq) // Karn: no RTT sample from retransmits
+	} else if _, seen := f.sendTimes[seq]; !seen {
+		f.sendTimes[seq] = f.net.Now()
+	}
+	f.Src.Send(pkt)
+	f.armRTO()
+}
+
+// receiverHandle accepts data, reorders, and emits cumulative ACKs that echo
+// per-packet CE (accurate ECN feedback, as DCTCP requires).
+func (f *Flow) receiverHandle(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.KindData {
+		return
+	}
+	payload := pkt.Size - netsim.DataHeaderBytes
+	if pkt.Seq == f.rcvNext {
+		f.rcvNext += int64(payload)
+		for {
+			n, ok := f.ooo[f.rcvNext]
+			if !ok {
+				break
+			}
+			delete(f.ooo, f.rcvNext)
+			f.rcvNext += int64(n)
+		}
+	} else if pkt.Seq > f.rcvNext {
+		f.ooo[pkt.Seq] = payload
+	}
+	ack := &netsim.Packet{
+		Kind: netsim.KindAck,
+		Flow: f.ID,
+		Src:  f.Dst.ID(),
+		Dst:  f.Src.ID(),
+		Prio: f.P.Prio,
+		Size: netsim.CtrlPacketBytes,
+		Seq:  f.rcvNext,
+		ECE:  pkt.CE,
+		// ACKs are ECN-capable so AQM marks rather than drops them; the
+		// sender reads the explicit ECE echo, never the ACK's own CE bit.
+		ECT: true,
+	}
+	// AckSeq piggybacks the payload length this ACK acknowledges receipt of,
+	// so the sender can attribute marked bytes for DCTCP's fraction.
+	ack.FlowBytes = int64(payload)
+	f.Dst.Send(ack)
+
+	if f.rcvNext >= f.Size && !f.rcvdAll {
+		f.rcvdAll = true
+		f.finish()
+	}
+}
+
+// senderHandle processes cumulative ACKs.
+func (f *Flow) senderHandle(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.KindAck || f.done {
+		return
+	}
+	if pkt.ECE {
+		f.ECEAcks++
+	}
+	// DCTCP accounting: every ACK reports one segment's worth of bytes and
+	// whether that segment was CE-marked.
+	f.ackedBytes += pkt.FlowBytes
+	if pkt.ECE {
+		f.markedBytes += pkt.FlowBytes
+	}
+
+	switch {
+	case pkt.Seq > f.sndUna:
+		newly := pkt.Seq - f.sndUna
+		// RTT sample from the highest in-order first-transmission.
+		if ts, ok := f.sendTimes[f.sndUna]; ok {
+			f.updateRTT(f.net.Now().Sub(ts))
+		}
+		for s := range f.sendTimes {
+			if s < pkt.Seq {
+				delete(f.sendTimes, s)
+			}
+		}
+		f.sndUna = pkt.Seq
+		f.dupAcks = 0
+		if f.inRecovery {
+			if f.sndUna >= f.recoverEnd {
+				f.inRecovery = false
+			} else if f.sndUna < f.Size {
+				// NewReno partial ACK: the next hole is also lost.
+				payload := f.P.MTU
+				if rem := f.Size - f.sndUna; int64(payload) > rem {
+					payload = int(rem)
+				}
+				f.emit(f.sndUna, payload, true)
+			}
+		}
+		f.growCwnd(float64(newly))
+		f.dctcpWindowUpdate()
+		f.armRTO()
+	case pkt.Seq == f.sndUna && f.sndNext > f.sndUna:
+		f.dupAcks++
+		if f.dupAcks == f.P.DupAckThresh && !f.inRecovery {
+			f.fastRetransmit()
+		}
+	}
+	if f.P.ECN && pkt.ECE {
+		f.maybeECNCut()
+	}
+	f.trySend()
+}
+
+// growCwnd applies slow start / congestion avoidance for newly acked bytes.
+func (f *Flow) growCwnd(newly float64) {
+	if f.inRecovery {
+		return
+	}
+	mtu := float64(f.P.MTU)
+	if f.cwnd < f.ssthresh {
+		f.cwnd += newly // slow start
+	} else {
+		f.cwnd += mtu * newly / f.cwnd // ~1 MTU per RTT
+	}
+	if m := f.maxCwnd(); f.cwnd > m {
+		f.cwnd = m
+	}
+}
+
+// dctcpWindowUpdate closes an observation window once a full window of bytes
+// has been acknowledged, updating alpha from the marked fraction.
+func (f *Flow) dctcpWindowUpdate() {
+	if !f.P.ECN || f.sndUna < f.winEnd {
+		return
+	}
+	if f.ackedBytes > 0 {
+		frac := float64(f.markedBytes) / float64(f.ackedBytes)
+		f.alpha = (1-f.P.G)*f.alpha + f.P.G*frac
+	}
+	f.ackedBytes, f.markedBytes = 0, 0
+	f.winEnd = f.sndUna + int64(f.cwnd)
+}
+
+// maybeECNCut applies DCTCP's once-per-window multiplicative decrease upon
+// ECN feedback.
+func (f *Flow) maybeECNCut() {
+	if f.sndUna < f.cwndCutSeq {
+		return
+	}
+	f.cwnd *= 1 - f.alpha/2
+	if f.cwnd < float64(f.P.MTU) {
+		f.cwnd = float64(f.P.MTU)
+	}
+	f.ssthresh = f.cwnd
+	f.cwndCutSeq = f.sndNext
+}
+
+// fastRetransmit performs Reno-style loss recovery.
+func (f *Flow) fastRetransmit() {
+	f.inRecovery = true
+	f.recoverEnd = f.sndNext
+	f.ssthresh = f.cwnd / 2
+	if f.ssthresh < float64(f.P.MTU) {
+		f.ssthresh = float64(f.P.MTU)
+	}
+	f.cwnd = f.ssthresh
+	payload := f.P.MTU
+	if rem := f.Size - f.sndUna; int64(payload) > rem {
+		payload = int(rem)
+	}
+	f.emit(f.sndUna, payload, true)
+}
+
+// updateRTT maintains SRTT/RTTVAR (RFC 6298).
+func (f *Flow) updateRTT(sample simtime.Duration) {
+	if sample <= 0 {
+		return
+	}
+	if f.srtt == 0 {
+		f.srtt = sample
+		f.rttvar = sample / 2
+		return
+	}
+	diff := f.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	f.rttvar = (3*f.rttvar + diff) / 4
+	f.srtt = (7*f.srtt + sample) / 8
+}
+
+// SRTT returns the smoothed RTT estimate.
+func (f *Flow) SRTT() simtime.Duration { return f.srtt }
+
+func (f *Flow) rto() simtime.Duration {
+	r := f.srtt + 4*f.rttvar
+	if r < f.P.RTOMin {
+		r = f.P.RTOMin
+	}
+	return r
+}
+
+// armRTO (re)starts the retransmission timer while data is outstanding.
+func (f *Flow) armRTO() {
+	if f.rtoEv != nil {
+		f.rtoEv.Cancel()
+		f.rtoEv = nil
+	}
+	if f.sndUna >= f.Size || f.done {
+		return
+	}
+	f.rtoEv = f.net.Q.After(f.rto(), f.onRTO)
+}
+
+// onRTO handles a retransmission timeout: collapse to one segment and resend
+// from the hole.
+func (f *Flow) onRTO() {
+	if f.done {
+		return
+	}
+	f.Timeouts++
+	f.ssthresh = f.cwnd / 2
+	if f.ssthresh < float64(f.P.MTU) {
+		f.ssthresh = float64(f.P.MTU)
+	}
+	f.cwnd = float64(f.P.MTU)
+	f.inRecovery = false
+	f.dupAcks = 0
+	payload := f.P.MTU
+	if rem := f.Size - f.sndUna; int64(payload) > rem {
+		payload = int(rem)
+	}
+	f.emit(f.sndUna, payload, true)
+}
+
+// finish records completion and tears down.
+func (f *Flow) finish() {
+	f.done = true
+	f.End = f.net.Now()
+	if f.rtoEv != nil {
+		f.rtoEv.Cancel()
+		f.rtoEv = nil
+	}
+	f.Src.Unregister(f.ID)
+	f.Dst.Unregister(f.ID)
+	if f.onDone != nil {
+		f.onDone(f)
+	}
+}

@@ -1,0 +1,123 @@
+package tcp_test
+
+import (
+	"testing"
+
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/red"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/tcp"
+	"github.com/accnet/acc/internal/topo"
+)
+
+func TestTinyFlowSingleSegment(t *testing.T) {
+	net, f := starNet(11, 2)
+	var done *tcp.Flow
+	tcp.Start(net, f.Hosts[0], f.Hosts[1], 100, tcp.DefaultParams(), func(fl *tcp.Flow) { done = fl })
+	net.RunUntil(simtime.Time(10 * simtime.Millisecond))
+	if done == nil {
+		t.Fatal("sub-MTU flow never completed")
+	}
+	if done.Retransmits != 0 {
+		t.Fatal("unnecessary retransmissions for a lossless single segment")
+	}
+}
+
+func TestRTORecoversFromTotalLoss(t *testing.T) {
+	// A flow whose path is down at start must survive via RTO once the
+	// link recovers.
+	net := netsim.New(12)
+	f := topo.Star(net, 2, topo.DefaultConfig())
+	link := f.Hosts[0].Port
+	link.SetDown(true)
+	var done bool
+	fl := tcp.Start(net, f.Hosts[0], f.Hosts[1], 50*simtime.KB, tcp.DefaultParams(), func(*tcp.Flow) { done = true })
+	net.RunUntil(simtime.Time(3 * simtime.Millisecond))
+	if done {
+		t.Fatal("flow completed across a down link")
+	}
+	link.SetDown(false)
+	net.RunUntil(simtime.Time(simtime.Second))
+	if !done {
+		t.Fatalf("flow never recovered after link repair (timeouts=%d rcvd=%d)", fl.Timeouts, fl.Received())
+	}
+	if fl.Timeouts == 0 {
+		t.Fatal("recovery without any RTO is implausible here")
+	}
+}
+
+func TestECNDisabledMeansNoECT(t *testing.T) {
+	net, f := starNet(13, 3)
+	// A shallow drop point: two competing Reno flows build queue past
+	// Kmax=6KB, lose packets, and must recover via retransmission — while
+	// never seeing an ECN echo.
+	f.Leaves[0].SetRED(red.Config{Kmin: 6 * simtime.KB, Kmax: 6 * simtime.KB, Pmax: 1})
+	p := tcp.DefaultParams()
+	p.ECN = false
+	var flows []*tcp.Flow
+	for i := 0; i < 2; i++ {
+		flows = append(flows, tcp.Start(net, f.Hosts[i], f.Hosts[2], 200*simtime.KB, p, nil))
+	}
+	net.RunUntil(simtime.Time(2 * simtime.Second))
+	var retx uint64
+	for _, fl := range flows {
+		if fl.ECEAcks != 0 {
+			t.Fatal("Reno flow received ECN echoes")
+		}
+		if !fl.Done() {
+			t.Fatalf("Reno flow wedged: rcvd=%d retx=%d timeouts=%d", fl.Received(), fl.Retransmits, fl.Timeouts)
+		}
+		retx += fl.Retransmits
+	}
+	if retx == 0 {
+		t.Fatal("competing Reno flows above a 6KB drop point recorded no retransmissions")
+	}
+}
+
+func TestDCTCPAlphaTracksMarking(t *testing.T) {
+	net, f := starNet(14, 3)
+	f.Leaves[0].SetRED(red.Config{Kmin: 20 * simtime.KB, Kmax: 20 * simtime.KB, Pmax: 1})
+	// Two competing flows force standing marks.
+	fl1 := tcp.Start(net, f.Hosts[0], f.Hosts[2], 8*simtime.MB, tcp.DefaultParams(), nil)
+	tcp.Start(net, f.Hosts[1], f.Hosts[2], 8*simtime.MB, tcp.DefaultParams(), nil)
+	net.RunUntil(simtime.Time(10 * simtime.Millisecond))
+	if fl1.Alpha() <= 0 {
+		t.Fatal("DCTCP alpha stayed zero under persistent marking")
+	}
+	if fl1.Alpha() > 1 {
+		t.Fatalf("alpha %v above 1", fl1.Alpha())
+	}
+	if fl1.ECEAcks == 0 {
+		t.Fatal("no ECN echoes seen")
+	}
+}
+
+func TestManyFlowsAllComplete(t *testing.T) {
+	net, f := starNet(15, 9)
+	f.Leaves[0].SetRED(red.Config{Kmin: 30 * simtime.KB, Kmax: 240 * simtime.KB, Pmax: 0.5})
+	const n = 32
+	done := 0
+	for i := 0; i < n; i++ {
+		src := f.Hosts[i%8]
+		tcp.Start(net, src, f.Hosts[8], 256*simtime.KB, tcp.DefaultParams(), func(*tcp.Flow) { done++ })
+	}
+	net.RunUntil(simtime.Time(2 * simtime.Second))
+	if done != n {
+		t.Fatalf("%d/%d TCP flows completed", done, n)
+	}
+}
+
+func TestCwndNeverBelowOneMTU(t *testing.T) {
+	net, f := starNet(16, 2)
+	f.Leaves[0].SetRED(red.Config{Kmin: 0, Kmax: 0, Pmax: 1}) // constant marking
+	fl := tcp.Start(net, f.Hosts[0], f.Hosts[1], simtime.MB, tcp.DefaultParams(), nil)
+	for i := 0; i < 100; i++ {
+		net.RunFor(100 * simtime.Microsecond)
+		if fl.Done() {
+			break
+		}
+		if fl.Cwnd() < float64(netsim.DefaultMTU) {
+			t.Fatalf("cwnd %v fell below one MTU", fl.Cwnd())
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package tcp_test
+
+import (
+	"testing"
+
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/red"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/tcp"
+	"github.com/accnet/acc/internal/topo"
+)
+
+func starNet(seed int64, n int) (*netsim.Network, *topo.Fabric) {
+	net := netsim.New(seed)
+	f := topo.Star(net, n, topo.DefaultConfig())
+	return net, f
+}
+
+func TestSingleTCPFlowCompletes(t *testing.T) {
+	net, f := starNet(1, 2)
+	var done *tcp.Flow
+	tcp.Start(net, f.Hosts[0], f.Hosts[1], 4*simtime.MB, tcp.DefaultParams(), func(fl *tcp.Flow) { done = fl })
+	net.RunUntil(simtime.Time(simtime.Second))
+	if done == nil {
+		t.Fatal("TCP flow did not complete")
+	}
+	rate := simtime.RateOf(done.Size, done.FCT())
+	if rate < 10*simtime.Gbps {
+		t.Fatalf("goodput %.1fGbps < 10Gbps", float64(rate)/1e9)
+	}
+	if done.Timeouts != 0 {
+		t.Fatalf("%d timeouts on an uncontended path", done.Timeouts)
+	}
+}
+
+func TestDCTCPKeepsQueueNearKmin(t *testing.T) {
+	// Two long DCTCP flows into one port: queue should oscillate around the
+	// marking threshold rather than filling the buffer.
+	net, f := starNet(2, 3)
+	sw := f.Leaves[0]
+	kmin := 30 * simtime.KB
+	sw.SetRED(red.Config{Kmin: kmin, Kmax: kmin, Pmax: 1}) // DCTCP-style step marking
+	for i := 0; i < 2; i++ {
+		tcp.Start(net, f.Hosts[i], f.Hosts[2], 16*simtime.MB, tcp.DefaultParams(), nil)
+	}
+	maxQ := 0
+	rx := sw.Ports[2].Queues[0]
+	var sample func()
+	sample = func() {
+		if b := rx.Bytes(); b > maxQ {
+			maxQ = b
+		}
+		net.Q.After(20*simtime.Microsecond, sample)
+	}
+	// Start sampling after slow-start overshoot settles.
+	net.Q.After(3*simtime.Millisecond, sample)
+	net.RunUntil(simtime.Time(30 * simtime.Millisecond))
+	if maxQ == 0 {
+		t.Fatal("no queue ever built")
+	}
+	if maxQ > 12*kmin {
+		t.Fatalf("steady-state queue peak %dKB far above Kmin %dKB", maxQ/1024, kmin/1024)
+	}
+}
+
+func TestRenoRecoversFromDrops(t *testing.T) {
+	// Non-ECN (Reno) flows into a tiny-buffer switch experience drops but
+	// must still complete via fast retransmit / RTO.
+	net := netsim.New(4)
+	cfg := topo.DefaultConfig()
+	cfg.Switch.BufferBytes = 150 * simtime.KB
+	cfg.Switch.PFC.Enabled = false
+	f := topo.Star(net, 3, cfg)
+	p := tcp.DefaultParams()
+	p.ECN = false
+	var done int
+	var flows []*tcp.Flow
+	for i := 0; i < 2; i++ {
+		fl := tcp.Start(net, f.Hosts[i], f.Hosts[2], 4*simtime.MB, p, func(*tcp.Flow) { done++ })
+		flows = append(flows, fl)
+	}
+	net.RunUntil(simtime.Time(2 * simtime.Second))
+	if done != 2 {
+		for _, fl := range flows {
+			t.Logf("flow %d: rcvd=%d cwnd=%.0f retx=%d timeouts=%d", fl.ID, fl.Received(), fl.Cwnd(), fl.Retransmits, fl.Timeouts)
+		}
+		t.Fatalf("%d/2 Reno flows completed", done)
+	}
+	if f.Leaves[0].DropsTotal == 0 {
+		t.Fatal("expected drops with 150KB buffer and no PFC")
+	}
+	totalRetx := flows[0].Retransmits + flows[1].Retransmits
+	if totalRetx == 0 {
+		t.Fatal("drops occurred but no retransmissions")
+	}
+}
+
+func TestTCPFairShareTwoFlows(t *testing.T) {
+	// Two simultaneous DCTCP flows of equal size should finish within ~2x of
+	// each other (rough fairness).
+	net, f := starNet(5, 3)
+	sw := f.Leaves[0]
+	sw.SetRED(red.Config{Kmin: 30 * simtime.KB, Kmax: 30 * simtime.KB, Pmax: 1})
+	var fcts []simtime.Duration
+	for i := 0; i < 2; i++ {
+		tcp.Start(net, f.Hosts[i], f.Hosts[2], 8*simtime.MB, tcp.DefaultParams(), func(fl *tcp.Flow) {
+			fcts = append(fcts, fl.FCT())
+		})
+	}
+	net.RunUntil(simtime.Time(simtime.Second))
+	if len(fcts) != 2 {
+		t.Fatalf("%d/2 flows completed", len(fcts))
+	}
+	a, b := float64(fcts[0]), float64(fcts[1])
+	if a > b {
+		a, b = b, a
+	}
+	if b/a > 2.0 {
+		t.Fatalf("unfair completion: %v vs %v", fcts[0], fcts[1])
+	}
+}
+
+func TestSRTTMeasurement(t *testing.T) {
+	net, f := starNet(6, 2)
+	fl := tcp.Start(net, f.Hosts[0], f.Hosts[1], simtime.MB, tcp.DefaultParams(), nil)
+	net.RunUntil(simtime.Time(100 * simtime.Millisecond))
+	if !fl.Done() {
+		t.Fatal("flow incomplete")
+	}
+	// Physical RTT is ~2.4us plus serialization; SRTT should land in the
+	// microsecond range, well under 1ms.
+	if fl.SRTT() <= 0 || fl.SRTT() > simtime.Millisecond {
+		t.Fatalf("SRTT %v implausible", fl.SRTT())
+	}
+}

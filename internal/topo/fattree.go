@@ -1,0 +1,149 @@
+package topo
+
+import (
+	"fmt"
+
+	"github.com/accnet/acc/internal/netsim"
+)
+
+// FatTree builds a three-tier k-ary fat-tree (Al-Fares et al.): k pods,
+// each with k/2 edge and k/2 aggregation switches, (k/2)² core switches,
+// and (k/2)² hosts per pod. k must be even and >= 4.
+//
+// Routing is ECMP at every up-stage: edge switches spread across their
+// pod's aggregation switches, aggregation switches across their core
+// group; downward paths are deterministic. ACC deploys on all three tiers
+// (returned via Fabric.Leaves = edge, Fabric.Spines = aggregation+core).
+func FatTree(net *netsim.Network, k int, c Config) *Fabric {
+	if k < 4 || k%2 != 0 {
+		panic(fmt.Sprintf("topo: fat-tree k must be even and >=4, got %d", k))
+	}
+	half := k / 2
+	f := &Fabric{Net: net}
+
+	// Core switches: half*half, grouped by the aggregation index they serve.
+	cores := make([]*netsim.Switch, half*half)
+	for i := range cores {
+		cores[i] = c.newSwitch(net, fmt.Sprintf("core%d", i))
+	}
+
+	type pod struct {
+		edge, agg []*netsim.Switch
+		// edgeUp[e][a]: edge e's port toward agg a; aggDown[a][e] reverse.
+		edgeUp  [][]*netsim.Port
+		aggDown [][]*netsim.Port
+		aggUp   [][]*netsim.Port // aggUp[a][j]: agg a's port toward core a*half+j
+		hosts   [][]*netsim.Host // hosts[e] under edge e
+	}
+	pods := make([]*pod, k)
+
+	coreDown := make([][]*netsim.Port, len(cores)) // coreDown[c][pod]
+	for i := range coreDown {
+		coreDown[i] = make([]*netsim.Port, k)
+	}
+
+	for p := 0; p < k; p++ {
+		pd := &pod{}
+		pods[p] = pd
+		for a := 0; a < half; a++ {
+			pd.agg = append(pd.agg, c.newSwitch(net, fmt.Sprintf("agg%d-%d", p, a)))
+		}
+		pd.edgeUp = make([][]*netsim.Port, half)
+		pd.aggDown = make([][]*netsim.Port, half)
+		pd.aggUp = make([][]*netsim.Port, half)
+		pd.hosts = make([][]*netsim.Host, half)
+		for a := 0; a < half; a++ {
+			pd.aggDown[a] = make([]*netsim.Port, half)
+		}
+		for e := 0; e < half; e++ {
+			edge := c.newSwitch(net, fmt.Sprintf("edge%d-%d", p, e))
+			pd.edge = append(pd.edge, edge)
+			for i := 0; i < half; i++ {
+				h := c.attachHost(net, edge, fmt.Sprintf("h%d-%d-%d", p, e, i))
+				pd.hosts[e] = append(pd.hosts[e], h)
+				f.Hosts = append(f.Hosts, h)
+			}
+			pd.edgeUp[e] = make([]*netsim.Port, half)
+			for a := 0; a < half; a++ {
+				up := edge.AddPort(c.FabricBW, c.FabDelay, c.QueueWeights)
+				down := pd.agg[a].AddPort(c.FabricBW, c.FabDelay, c.QueueWeights)
+				netsim.Connect(up, down)
+				pd.edgeUp[e][a] = up
+				pd.aggDown[a][e] = down
+			}
+		}
+		for a := 0; a < half; a++ {
+			pd.aggUp[a] = make([]*netsim.Port, half)
+			for j := 0; j < half; j++ {
+				core := cores[a*half+j]
+				up := pd.agg[a].AddPort(c.FabricBW, c.FabDelay, c.QueueWeights)
+				down := core.AddPort(c.FabricBW, c.FabDelay, c.QueueWeights)
+				netsim.Connect(up, down)
+				pd.aggUp[a][j] = up
+				coreDown[a*half+j][p] = down
+			}
+		}
+	}
+
+	// Routing.
+	for p, pd := range pods {
+		for e, edge := range pd.edge {
+			for _, h := range f.Hosts {
+				if local := f.hostUnder(pd.hosts[e], h); local {
+					continue // direct route already set by attachHost
+				}
+				edge.SetRoute(h.ID(), pd.edgeUp[e]...)
+			}
+		}
+		edgeOf := func(h *netsim.Host) (int, bool) {
+			for e, hs := range pd.hosts {
+				for _, x := range hs {
+					if x == h {
+						return e, true
+					}
+				}
+			}
+			return 0, false
+		}
+		for a, agg := range pd.agg {
+			for _, h := range f.Hosts {
+				if he, ok := edgeOf(h); ok {
+					agg.SetRoute(h.ID(), pd.aggDown[a][he])
+				} else {
+					agg.SetRoute(h.ID(), pd.aggUp[a]...)
+				}
+			}
+		}
+		_ = p
+	}
+	for ci, core := range cores {
+		for p, pd := range pods {
+			for e := range pd.hosts {
+				for _, h := range pd.hosts[e] {
+					_ = e
+					core.SetRoute(h.ID(), coreDown[ci][p])
+				}
+			}
+		}
+	}
+
+	// Expose tiers: edge as Leaves, aggregation+core as Spines.
+	for _, pd := range pods {
+		f.Leaves = append(f.Leaves, pd.edge...)
+		f.Spines = append(f.Spines, pd.agg...)
+		f.HostsAt = append(f.HostsAt, flatten(pd.hosts)...)
+	}
+	f.Spines = append(f.Spines, cores...)
+	return f
+}
+
+func (f *Fabric) hostUnder(hs []*netsim.Host, h *netsim.Host) bool {
+	for _, x := range hs {
+		if x == h {
+			return true
+		}
+	}
+	return false
+}
+
+func flatten(hs [][]*netsim.Host) [][]*netsim.Host { return hs }

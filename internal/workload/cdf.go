@@ -1,0 +1,140 @@
+// Package workload generates the traffic the paper evaluates with:
+// empirical flow-size distributions (WebSearch, DataMining — Figure 11),
+// Poisson open-loop load generators, incast patterns, the Table-1
+// distributed-storage models, and the parameter-server training traffic of
+// §5.3.2.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CDFPoint is one knot of an empirical CDF: P(size <= Bytes) = Prob.
+type CDFPoint struct {
+	Bytes float64
+	Prob  float64
+}
+
+// CDF is a piecewise-linear empirical flow-size distribution.
+type CDF struct {
+	Name   string
+	Points []CDFPoint
+}
+
+// Validate checks monotonicity and range.
+func (c CDF) Validate() error {
+	if len(c.Points) < 2 {
+		return fmt.Errorf("workload: CDF %q needs >=2 points", c.Name)
+	}
+	for i, p := range c.Points {
+		if p.Prob < 0 || p.Prob > 1 {
+			return fmt.Errorf("workload: CDF %q point %d prob %v outside [0,1]", c.Name, i, p.Prob)
+		}
+		if i > 0 {
+			prev := c.Points[i-1]
+			if p.Bytes < prev.Bytes || p.Prob < prev.Prob {
+				return fmt.Errorf("workload: CDF %q not monotone at point %d", c.Name, i)
+			}
+		}
+	}
+	if last := c.Points[len(c.Points)-1]; last.Prob != 1 {
+		return fmt.Errorf("workload: CDF %q does not reach 1 (got %v)", c.Name, last.Prob)
+	}
+	return nil
+}
+
+// Sample draws one flow size by inverse-transform sampling with linear
+// interpolation between knots. The result is at least 1 byte.
+func (c CDF) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	pts := c.Points
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Prob >= u })
+	if i == 0 {
+		return maxi64(1, int64(pts[0].Bytes))
+	}
+	if i >= len(pts) {
+		return maxi64(1, int64(pts[len(pts)-1].Bytes))
+	}
+	lo, hi := pts[i-1], pts[i]
+	if hi.Prob == lo.Prob {
+		return maxi64(1, int64(hi.Bytes))
+	}
+	frac := (u - lo.Prob) / (hi.Prob - lo.Prob)
+	return maxi64(1, int64(lo.Bytes+frac*(hi.Bytes-lo.Bytes)))
+}
+
+// Mean returns the distribution's expected flow size in bytes, integrating
+// the piecewise-linear inverse CDF.
+func (c CDF) Mean() float64 {
+	var mean float64
+	pts := c.Points
+	for i := 1; i < len(pts); i++ {
+		dp := pts[i].Prob - pts[i-1].Prob
+		mean += dp * (pts[i].Bytes + pts[i-1].Bytes) / 2
+	}
+	return mean
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WebSearch is the DCTCP-paper web-search flow-size distribution the paper
+// uses in Figures 2, 12, 13 and 16 (sizes in bytes).
+func WebSearch() CDF {
+	return CDF{Name: "WebSearch", Points: []CDFPoint{
+		{0, 0},
+		{10e3, 0.15},
+		{20e3, 0.20},
+		{30e3, 0.30},
+		{50e3, 0.40},
+		{80e3, 0.53},
+		{200e3, 0.60},
+		{1e6, 0.70},
+		{2e6, 0.80},
+		{5e6, 0.90},
+		{10e6, 0.97},
+		{30e6, 1.00},
+	}}
+}
+
+// DataMining is the VL2-paper data-mining flow-size distribution (sizes in
+// bytes); heavy-tailed with most flows tiny and most bytes in giant flows.
+func DataMining() CDF {
+	return CDF{Name: "DataMining", Points: []CDFPoint{
+		{0, 0},
+		{180, 0.10},
+		{216, 0.20},
+		{560, 0.30},
+		{900, 0.40},
+		{1100, 0.50},
+		{1870, 0.60},
+		{3160, 0.70},
+		{10e3, 0.80},
+		{400e3, 0.90},
+		{3.16e6, 0.95},
+		{100e6, 0.98},
+		{1e9, 1.00},
+	}}
+}
+
+// Uniform returns a CDF uniform between lo and hi bytes.
+func Uniform(name string, lo, hi int64) CDF {
+	return CDF{Name: name, Points: []CDFPoint{
+		{float64(lo), 0},
+		{float64(hi), 1},
+	}}
+}
+
+// Fixed returns a degenerate CDF always yielding size bytes.
+func Fixed(name string, size int64) CDF {
+	return CDF{Name: name, Points: []CDFPoint{
+		{float64(size), 0},
+		{float64(size), 1},
+	}}
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// StartFlowFunc launches a transport flow; transports (DCQCN, TCP) are
+// plugged in by the experiment harness. onDone runs at completion.
+type StartFlowFunc func(src, dst *netsim.Host, size int64, onDone func())
+
+// PoissonConfig drives an open-loop load generator: flows arrive as a
+// Poisson process sized from a CDF, with uniformly random source and
+// destination hosts (src != dst), targeting a fraction of the aggregate
+// host-link capacity — the standard methodology of the paper's §5.4.
+type PoissonConfig struct {
+	Hosts  []*netsim.Host
+	Sizes  CDF
+	Load   float64      // fraction of aggregate host bandwidth, e.g. 0.6
+	HostBW simtime.Rate // per-host link rate
+	Start  StartFlowFunc
+	// Pairs restricts traffic to specific (src,dst) index pairs; nil means
+	// uniform random pairs.
+	Pairs [][2]int
+	// OnArrival, if set, observes each generated flow.
+	OnArrival func(src, dst *netsim.Host, size int64)
+}
+
+// PoissonGen is a running generator.
+type PoissonGen struct {
+	cfg     PoissonConfig
+	net     *netsim.Network
+	rng     *rand.Rand
+	lambda  float64 // arrivals per second across the cluster
+	stopped bool
+
+	Started int // flows launched
+	Bytes   int64
+}
+
+// StartPoisson begins generating flows immediately. The generator draws its
+// own RNG stream from the network RNG so that adding monitors does not
+// perturb traffic.
+func StartPoisson(net *netsim.Network, cfg PoissonConfig) *PoissonGen {
+	mean := cfg.Sizes.Mean()
+	n := float64(len(cfg.Hosts))
+	// Aggregate arrival rate: load × n × BW / (8 × mean flow size).
+	lambda := cfg.Load * n * float64(cfg.HostBW) / (8 * mean)
+	g := &PoissonGen{
+		cfg:    cfg,
+		net:    net,
+		rng:    rand.New(rand.NewSource(net.Rng.Int63())),
+		lambda: lambda,
+	}
+	g.scheduleNext()
+	return g
+}
+
+// Stop halts future arrivals (in-flight flows continue).
+func (g *PoissonGen) Stop() { g.stopped = true }
+
+func (g *PoissonGen) scheduleNext() {
+	gap := simtime.Duration(g.rng.ExpFloat64() / g.lambda * float64(simtime.Second))
+	g.net.Q.After(gap, func() {
+		if g.stopped {
+			return
+		}
+		g.emit()
+		g.scheduleNext()
+	})
+}
+
+func (g *PoissonGen) emit() {
+	hosts := g.cfg.Hosts
+	var src, dst *netsim.Host
+	if len(g.cfg.Pairs) > 0 {
+		p := g.cfg.Pairs[g.rng.Intn(len(g.cfg.Pairs))]
+		src, dst = hosts[p[0]], hosts[p[1]]
+	} else {
+		si := g.rng.Intn(len(hosts))
+		di := g.rng.Intn(len(hosts) - 1)
+		if di >= si {
+			di++
+		}
+		src, dst = hosts[si], hosts[di]
+	}
+	size := g.cfg.Sizes.Sample(g.rng)
+	g.Started++
+	g.Bytes += size
+	if g.cfg.OnArrival != nil {
+		g.cfg.OnArrival(src, dst, size)
+	}
+	g.cfg.Start(src, dst, size, nil)
+}
+
+// IncastConfig describes an N-to-1 synchronized burst: each of Senders
+// opens Flows flows of Size bytes to the single receiver.
+type IncastConfig struct {
+	Senders  []*netsim.Host
+	Receiver *netsim.Host
+	Flows    int // flows per sender
+	Size     int64
+	Start    StartFlowFunc
+}
+
+// RunIncast launches the burst at the current virtual time and invokes
+// onAllDone when every flow completes.
+func RunIncast(net *netsim.Network, cfg IncastConfig, onAllDone func()) {
+	total := len(cfg.Senders) * cfg.Flows
+	done := 0
+	for _, s := range cfg.Senders {
+		for i := 0; i < cfg.Flows; i++ {
+			cfg.Start(s, cfg.Receiver, cfg.Size, func() {
+				done++
+				if done == total && onAllDone != nil {
+					onAllDone()
+				}
+			})
+		}
+	}
+}
+
+// Phase describes one segment of a time-varying traffic schedule (Figure 6:
+// "randomly change the number of flows and the number of Incast senders").
+type Phase struct {
+	Duration simtime.Duration
+	Run      func() // starts the phase's traffic; previous phase's flows drain naturally
+}
+
+// RunPhases executes phases back to back.
+func RunPhases(net *netsim.Network, phases []Phase) {
+	var at simtime.Duration
+	for _, ph := range phases {
+		ph := ph
+		net.Q.After(at, ph.Run)
+		at += ph.Duration
+	}
+}
+
+// ExpJitter returns a deterministic exponential jitter helper bound to rng.
+func ExpJitter(rng *rand.Rand, mean simtime.Duration) simtime.Duration {
+	d := simtime.Duration(rng.ExpFloat64() * float64(mean))
+	if d <= 0 {
+		d = 1
+	}
+	if float64(d) > 20*float64(mean) {
+		d = 20 * mean
+	}
+	return d
+}
+
+// LoadForPairs computes the per-pair Poisson rate needed to hit load on a
+// bottleneck of rate bw given mean flow size (utility for tests).
+func LoadForPairs(load float64, bw simtime.Rate, meanFlow float64) float64 {
+	if meanFlow <= 0 {
+		return math.NaN()
+	}
+	return load * float64(bw) / (8 * meanFlow)
+}

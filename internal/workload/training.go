@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// TrainingModel summarizes a DNN for the §5.3.2 distributed-training
+// benchmark: only the gradient/parameter volume matters to the network.
+type TrainingModel struct {
+	Name       string
+	ModelBytes int64 // gradient (and parameter) bytes exchanged per iteration
+	BatchSize  int   // images per worker per iteration
+}
+
+// AlexNet has ~61M float32 parameters (~240MB of gradients per iteration).
+func AlexNet() TrainingModel {
+	return TrainingModel{Name: "AlexNet", ModelBytes: 240 * simtime.MB, BatchSize: 64}
+}
+
+// ResNet50 has ~25.5M float32 parameters (~100MB per iteration).
+func ResNet50() TrainingModel {
+	return TrainingModel{Name: "ResNet-50", ModelBytes: 100 * simtime.MB, BatchSize: 64}
+}
+
+// TrainingConfig describes a parameter-server training job: every iteration
+// each worker pushes its gradients to the PS, and once all pushes land the
+// PS broadcasts fresh parameters back; compute time then elapses before the
+// next iteration.
+type TrainingConfig struct {
+	Workers     []*netsim.Host
+	PS          *netsim.Host
+	Model       TrainingModel
+	ComputeTime simtime.Duration // forward+backward pass duration per iteration
+	Start       StartFlowFunc
+	// ScaleBytes divides ModelBytes to shrink experiments; zero means 1.
+	ScaleBytes int64
+}
+
+// TrainingJob is a running job.
+type TrainingJob struct {
+	cfg TrainingConfig
+	net *netsim.Network
+
+	stopped    bool
+	Iterations int
+	IterTimes  []simtime.Duration
+
+	startedAt simtime.Time
+}
+
+// RunTraining starts iterating immediately.
+func RunTraining(net *netsim.Network, cfg TrainingConfig) *TrainingJob {
+	if cfg.ScaleBytes <= 0 {
+		cfg.ScaleBytes = 1
+	}
+	j := &TrainingJob{cfg: cfg, net: net, startedAt: net.Now()}
+	j.iterate()
+	return j
+}
+
+// Stop ends the job after the current iteration.
+func (j *TrainingJob) Stop() { j.stopped = true }
+
+// ImagesPerSec returns the aggregate training speed so far.
+func (j *TrainingJob) ImagesPerSec() float64 {
+	el := j.net.Now().Sub(j.startedAt).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(j.Iterations*j.cfg.Model.BatchSize*len(j.cfg.Workers)) / el
+}
+
+func (j *TrainingJob) bytesPerTransfer() int64 {
+	b := j.cfg.Model.ModelBytes / j.cfg.ScaleBytes
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// iterate runs one push/pull round.
+func (j *TrainingJob) iterate() {
+	if j.stopped {
+		return
+	}
+	t0 := j.net.Now()
+	n := len(j.cfg.Workers)
+	bytes := j.bytesPerTransfer()
+
+	pushesLeft := n
+	pullsLeft := n
+	var pull func()
+	pull = func() {
+		for _, w := range j.cfg.Workers {
+			j.cfg.Start(j.cfg.PS, w, bytes, func() {
+				pullsLeft--
+				if pullsLeft == 0 {
+					j.Iterations++
+					j.IterTimes = append(j.IterTimes, j.net.Now().Sub(t0))
+					j.net.Q.After(j.cfg.ComputeTime, j.iterate)
+				}
+			})
+		}
+	}
+	for _, w := range j.cfg.Workers {
+		j.cfg.Start(w, j.cfg.PS, bytes, func() {
+			pushesLeft--
+			if pushesLeft == 0 {
+				pull()
+			}
+		})
+	}
+}

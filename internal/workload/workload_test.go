@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+func TestCDFValidate(t *testing.T) {
+	for _, c := range []CDF{WebSearch(), DataMining(), Uniform("u", 10, 20), Fixed("f", 5)} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	bad := CDF{Name: "bad", Points: []CDFPoint{{0, 0}, {10, 0.5}}}
+	if bad.Validate() == nil {
+		t.Error("CDF not reaching 1 must fail validation")
+	}
+	nonMono := CDF{Name: "nm", Points: []CDFPoint{{0, 0}, {10, 0.8}, {5, 1}}}
+	if nonMono.Validate() == nil {
+		t.Error("non-monotone CDF must fail validation")
+	}
+}
+
+// TestFig11CDFs checks the two workload distributions of Figure 11 are
+// heavy-tailed the way the paper describes.
+func TestFig11CDFs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ws, dm := WebSearch(), DataMining()
+
+	// Empirical check: sample means approximate analytic means.
+	for _, c := range []CDF{ws, dm} {
+		var sum float64
+		const n = 200000
+		for i := 0; i < n; i++ {
+			sum += float64(c.Sample(rng))
+		}
+		got := sum / n
+		want := c.Mean()
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("%s sample mean %.0f vs analytic %.0f", c.Name, got, want)
+		}
+	}
+
+	// DataMining is far more skewed: its median is tiny vs its mean.
+	var dmSmall int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if dm.Sample(rng) <= 10*simtime.KB {
+			dmSmall++
+		}
+	}
+	if frac := float64(dmSmall) / n; frac < 0.75 {
+		t.Errorf("DataMining small-flow fraction %.2f, want ~0.8", frac)
+	}
+	if dm.Mean() < 10*float64(dm.Points[8].Bytes) {
+		t.Errorf("DataMining mean %.0f should dwarf its 80th percentile", dm.Mean())
+	}
+}
+
+func TestSampleWithinSupport(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, c := range []CDF{WebSearch(), DataMining()} {
+			s := c.Sample(rng)
+			lo := int64(1)
+			hi := int64(c.Points[len(c.Points)-1].Bytes)
+			if s < lo || s > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedAndUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	fx := Fixed("f", 4096)
+	for i := 0; i < 10; i++ {
+		if fx.Sample(rng) != 4096 {
+			t.Fatal("Fixed CDF must always return its size")
+		}
+	}
+	u := Uniform("u", 100, 200)
+	for i := 0; i < 1000; i++ {
+		s := u.Sample(rng)
+		if s < 100 || s > 200 {
+			t.Fatalf("uniform sample %d outside [100,200]", s)
+		}
+	}
+}
+
+func TestTable1Models(t *testing.T) {
+	models := Table1()
+	if len(models) != 6 {
+		t.Fatalf("%d models, want 6 (Table 1)", len(models))
+	}
+	byName := map[string]StorageModel{}
+	for _, m := range models {
+		byName[m.Name] = m
+		if m.ReadRatio < 0 || m.ReadRatio > 1 {
+			t.Errorf("%s read ratio %v", m.Name, m.ReadRatio)
+		}
+		if m.BlockMin > m.BlockMax {
+			t.Errorf("%s block range inverted", m.Name)
+		}
+	}
+	// Paper Table 1 spot checks.
+	if byName["OLTP"].BlockMin != 512 || byName["OLTP"].BlockMax != 64*simtime.KB {
+		t.Error("OLTP block size range wrong")
+	}
+	if byName["OLAP"].BlockMax != 4*simtime.MB {
+		t.Error("OLAP block size range wrong")
+	}
+	if byName["VDI"].ReadRatio != 0.2 {
+		t.Error("VDI read-write ratio wrong (2:8)")
+	}
+	if byName["ExchangeServer"].ReadRatio != 0.6 {
+		t.Error("Exchange read-write ratio wrong (6:4)")
+	}
+}
+
+func TestSampleBlockInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range Table1() {
+		for i := 0; i < 1000; i++ {
+			b := m.SampleBlock(rng)
+			if b < m.BlockMin || b > m.BlockMax {
+				t.Fatalf("%s block %d outside [%d,%d]", m.Name, b, m.BlockMin, m.BlockMax)
+			}
+		}
+	}
+	// Degenerate range.
+	vs := StorageModel{BlockMin: 64 * simtime.KB, BlockMax: 64 * simtime.KB}
+	if vs.SampleBlock(rng) != 64*simtime.KB {
+		t.Fatal("fixed block size must be exact")
+	}
+}
+
+func TestTrainingModels(t *testing.T) {
+	a, r := AlexNet(), ResNet50()
+	if a.ModelBytes <= r.ModelBytes {
+		t.Fatal("AlexNet gradient volume must exceed ResNet-50's")
+	}
+	if a.BatchSize != 64 || r.BatchSize != 64 {
+		t.Fatal("paper uses batchSize=64")
+	}
+}
+
+func TestLogUniformMeanProperty(t *testing.T) {
+	// ExpJitter stays positive and bounded.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		d := ExpJitter(rng, simtime.Millisecond)
+		if d <= 0 || d > 20*simtime.Millisecond {
+			t.Fatalf("jitter %v out of bounds", d)
+		}
+	}
+}
+
+func TestAllReduceRounds(t *testing.T) {
+	net := netsimNew(9)
+	fab := topoStar(net, 4)
+	job := RunAllReduce(net, AllReduceConfig{
+		Nodes:       fab.Hosts,
+		Bytes:       400 * simtime.KB,
+		ComputeTime: 50 * simtime.Microsecond,
+		Start:       dcqcnStarterFor(net),
+	})
+	net.RunUntil(simtimeT(20 * simtime.Millisecond))
+	job.Stop()
+	if job.Rounds < 2 {
+		t.Fatalf("only %d all-reduce rounds completed", job.Rounds)
+	}
+	if len(job.StepTimes) != job.Rounds {
+		t.Fatal("step times not recorded per round")
+	}
+	if job.RoundsPerSec() <= 0 {
+		t.Fatal("round rate not positive")
+	}
+}
+
+func TestAllReduceDegenerate(t *testing.T) {
+	net := netsimNew(10)
+	fab := topoStar(net, 2)
+	// Two nodes: 2(N-1) = 2 steps per round; tiny tensors.
+	job := RunAllReduce(net, AllReduceConfig{
+		Nodes:       fab.Hosts,
+		Bytes:       1, // chunk clamps to >=1 byte
+		ComputeTime: simtime.Microsecond,
+		Start:       dcqcnStarterFor(net),
+	})
+	net.RunUntil(simtimeT(simtime.Millisecond))
+	job.Stop()
+	if job.Rounds == 0 {
+		t.Fatal("degenerate all-reduce made no progress")
+	}
+}
