@@ -8,6 +8,13 @@
 //	accsim -exp all                # run everything
 //	accsim -exp fig12 -scale 4     # paper-scale fabric/durations
 //	accsim -exp fig9 -csv          # machine-readable output
+//
+// The robustness suite (robust-linkfail, robust-flap, robust-telemetry)
+// reads the -fault-* flags to shape its fault plan:
+//
+//	accsim -exp robust-linkfail -seed 1
+//	accsim -exp robust-flap -fault-links 3 -fault-mtbf 2ms -fault-mttr 500us
+//	accsim -exp robust-telemetry -fault-stale 8 -fault-drop 0.5
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"time"
 
 	"github.com/accnet/acc/internal/exp"
+	"github.com/accnet/acc/internal/simtime"
 )
 
 func main() {
@@ -27,6 +35,13 @@ func main() {
 		scale    = flag.Float64("scale", 1, "duration/fabric scale factor (>=4 restores paper-scale fabrics)")
 		episodes = flag.Int("episodes", 0, "offline pre-training episodes for ACC policies (0 = default)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+
+		faultMTBF    = flag.Duration("fault-mtbf", 0, "robust-flap: mean up time between failures (0 = experiment default)")
+		faultMTTR    = flag.Duration("fault-mttr", 0, "robust-flap: mean down time until repair (0 = experiment default)")
+		faultLinks   = flag.Int("fault-links", 0, "robust-flap: number of leaf-spine links to flap (0 = experiment default)")
+		faultStale   = flag.Int("fault-stale", 0, "robust-telemetry: observation staleness in monitoring slots")
+		faultDrop    = flag.Float64("fault-drop", 0, "robust-telemetry: per-window telemetry loss probability [0,1)")
+		faultDegrade = flag.Float64("fault-degrade", 0, "robust-linkfail: brownout a second uplink to this fraction of nominal bandwidth (0 = off)")
 	)
 	flag.Parse()
 
@@ -41,7 +56,17 @@ func main() {
 		return
 	}
 
-	opts := exp.Options{Seed: *seed, Scale: *scale, OfflineEpisodes: *episodes}
+	opts := exp.Options{
+		Seed: *seed, Scale: *scale, OfflineEpisodes: *episodes,
+		Faults: exp.FaultOptions{
+			MTBF:     simtime.Duration((*faultMTBF).Nanoseconds()),
+			MTTR:     simtime.Duration((*faultMTTR).Nanoseconds()),
+			Links:    *faultLinks,
+			Stale:    *faultStale,
+			DropProb: *faultDrop,
+			Degrade:  *faultDegrade,
+		},
+	}
 	ids := []string{*expID}
 	if *expID == "all" {
 		ids = ids[:0]

@@ -15,6 +15,27 @@ import (
 // QS_t = (qlen, txRate, txRate(m), ECN(c)), each normalized.
 const FeaturesPerSlot = 4
 
+// Observation is one ΔT collector sample for a monitored queue: the
+// normalized feature slot plus the raw reward ingredients.
+type Observation struct {
+	Slot []float64 // FeaturesPerSlot normalized features
+	Util float64   // utilization vs the class's DWRR share, for T(R)
+	AvgQ float64   // average queue bytes over the interval, for D(L)
+}
+
+// TelemetryFault perturbs the collector→agent path of a tuner, modelling
+// the switch-CPU overload the paper guards against in §4.2/§4.3: under
+// load the on-switch collector may deliver stale counters or miss
+// monitoring windows entirely. Implementations live outside this package
+// (see internal/faults); a nil fault is the healthy path.
+type TelemetryFault interface {
+	// Sample receives the freshly measured observation for monitored queue
+	// index q and returns the observation actually delivered to the agent.
+	// ok=false means the window's sample was lost: the tuner skips
+	// inference and learning for that queue this tick.
+	Sample(now simtime.Time, q int, obs Observation) (Observation, bool)
+}
+
 // Config parameterizes one per-switch tuner.
 type Config struct {
 	// Period is ΔT, the monitoring/action interval — one order of magnitude
@@ -163,7 +184,11 @@ type Tuner struct {
 	Inferences uint64
 	Skipped    uint64
 	TrainRuns  uint64
+	// TelemetryDrops counts monitoring windows lost to an injected
+	// telemetry fault (collector overload).
+	TelemetryDrops uint64
 
+	fault   TelemetryFault
 	stopped bool
 }
 
@@ -212,6 +237,11 @@ func NewTuner(net *netsim.Network, sw *netsim.Switch, agent *rl.Agent, cfg Confi
 // Stop halts the tuning loop.
 func (t *Tuner) Stop() { t.stopped = true }
 
+// SetTelemetryFault installs (or, with nil, removes) a fault on the
+// collector path. Queue indices passed to the fault are the tuner's
+// monitored-queue indices, in [0, Queues()).
+func (t *Tuner) SetTelemetryFault(f TelemetryFault) { t.fault = f }
+
 // Queues returns the number of monitored queues.
 func (t *Tuner) Queues() int { return len(t.queues) }
 
@@ -244,8 +274,8 @@ func (t *Tuner) schedule() {
 // tick runs one monitoring/inference interval over all queues.
 func (t *Tuner) tick() {
 	t.ticks++
-	for _, qs := range t.queues {
-		t.tickQueue(qs)
+	for qi, qs := range t.queues {
+		t.tickQueue(qi, qs)
 	}
 }
 
@@ -299,8 +329,25 @@ func (t *Tuner) state(qs *queueState) []float64 {
 	return out
 }
 
-func (t *Tuner) tickQueue(qs *queueState) {
+func (t *Tuner) tickQueue(qi int, qs *queueState) {
 	slot, util, avgQ := t.features(qs)
+
+	// Injected telemetry faults intercept the collector output before it
+	// reaches the data processor: the window can arrive stale or not at
+	// all. Counter deltas in features() already advanced, exactly as a
+	// real collector's cursor would — a lost window is lost for good.
+	if t.fault != nil {
+		obs, ok := t.fault.Sample(t.Net.Now(), qi, Observation{Slot: slot, Util: util, AvgQ: avgQ})
+		if !ok {
+			t.TelemetryDrops++
+			// No sample: the agent cannot attribute the next reward to its
+			// last action, so break the experience chain and keep the
+			// current ECN setting.
+			qs.prevState = nil
+			return
+		}
+		slot, util, avgQ = obs.Slot, obs.Util, obs.AvgQ
+	}
 
 	qs.hist = append(qs.hist, slot)
 	if len(qs.hist) > t.Cfg.HistoryK {

@@ -40,6 +40,21 @@ type Options struct {
 	OfflineEpisodes int
 	// Verbose enables progress output on stdout.
 	Verbose bool
+	// Faults parameterizes the robust-* experiments; zero fields fall back
+	// to per-experiment defaults.
+	Faults FaultOptions
+}
+
+// FaultOptions surfaces the fault-injection plan knobs on the command line
+// (cmd/accsim -fault-* flags). Each robust-* experiment reads the fields it
+// needs and substitutes defaults for zero values.
+type FaultOptions struct {
+	MTBF     simtime.Duration // robust-flap: mean up time between failures
+	MTTR     simtime.Duration // robust-flap: mean down time until repair
+	Links    int              // robust-flap: leaf-spine links to flap
+	Stale    int              // robust-telemetry: staleness in ΔT slots
+	DropProb float64          // robust-telemetry: per-window loss probability
+	Degrade  float64          // robust-linkfail: brownout factor in (0,1)
 }
 
 // DefaultOptions returns quick-run settings.
@@ -228,16 +243,24 @@ func PretrainedModel(episodes int) *rl.MLP {
 
 // deploy applies a policy to a fabric and returns a stopper.
 func deploy(net *netsim.Network, fab *topo.Fabric, p Policy, o Options) func() {
+	stop, _ := deployFull(net, fab, p, o)
+	return stop
+}
+
+// deployFull is deploy with access to the deployed ACC system, for
+// experiments that attach telemetry faults or inspect tuners; sys is nil
+// for static and centralized policies.
+func deployFull(net *netsim.Network, fab *topo.Fabric, p Policy, o Options) (stop func(), sys *acc.System) {
 	switch {
 	case p.Static != nil:
 		for _, sw := range fab.Switches() {
 			sw.SetRED(*p.Static)
 		}
-		return func() {}
+		return func() {}, nil
 	case p.CACC:
 		cc := acc.DefaultCentralizedConfig()
 		c := acc.NewCentralized(net, fab.Leaves, fab.Spines, cc)
-		return c.Stop
+		return c.Stop, nil
 	case p.ACC:
 		scfg := acc.DefaultSystemConfig()
 		if p.Reward != nil {
@@ -275,15 +298,15 @@ func deploy(net *netsim.Network, fab *topo.Fabric, p Policy, o Options) func() {
 			scfg.Tuner.TrainEvery = 4
 		}
 		scfg.Tuner.Agent = ac
-		sys := acc.NewSystem(net, fab.Switches(), model, scfg)
+		s := acc.NewSystem(net, fab.Switches(), model, scfg)
 		if model != nil {
 			// Pre-trained deployment keeps only a sliver of exploration
 			// (§4.3: fast exponential decay to avoid unstable exploring).
-			sys.SetEpsilon(0.01)
+			s.SetEpsilon(0.01)
 		}
-		return sys.Stop
+		return s.Stop, s
 	default:
-		return func() {}
+		return func() {}, nil
 	}
 }
 

@@ -37,6 +37,7 @@ func TestRegistryCoversPaper(t *testing.T) {
 		"table1", "resources",
 		"ablation-history", "ablation-ddqn", "ablation-exchange",
 		"ablation-busyidle", "ablation-period",
+		"robust-linkfail", "robust-flap", "robust-telemetry",
 	}
 	have := map[string]bool{}
 	for _, e := range List() {
@@ -108,6 +109,65 @@ func TestFig1SmallScale(t *testing.T) {
 	for _, tbl := range tables {
 		if len(tbl.Rows) != 6 {
 			t.Fatalf("fig1 table %q has %d rows, want 6 threshold points", tbl.Title, len(tbl.Rows))
+		}
+	}
+}
+
+// renderTables flattens experiment output to one comparable string.
+func renderTables(tables []*Table) string {
+	var b strings.Builder
+	for _, tbl := range tables {
+		b.WriteString(tbl.String())
+	}
+	return b.String()
+}
+
+// TestDeterminismSameSeed is the determinism regression: the same
+// experiment with the same seed must render byte-identical tables, the
+// property the whole evaluation (and the faults subsystem) relies on.
+func TestDeterminismSameSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	o := DefaultOptions()
+	o.Scale = 0.25
+	o.OfflineEpisodes = 4
+	for _, id := range []string{"fig8", "robust-linkfail"} {
+		run := func() string {
+			tables, err := Run(id, o)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			return renderTables(tables)
+		}
+		a, b := run(), run()
+		if a != b {
+			t.Errorf("%s: same-seed runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", id, a, b)
+		}
+	}
+}
+
+// TestRobustExperimentsSmallScale exercises the robustness suite end to
+// end: every robust-* experiment must produce a populated comparison table.
+func TestRobustExperimentsSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	o := DefaultOptions()
+	o.Scale = 0.25
+	o.OfflineEpisodes = 4
+	for _, id := range []string{"robust-linkfail", "robust-flap", "robust-telemetry"} {
+		tables, err := Run(id, o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) != 1 || len(tables[0].Rows) < 2 {
+			t.Fatalf("%s: want one table with >=2 policy rows, got %v", id, tables)
+		}
+		for _, row := range tables[0].Rows {
+			if len(row) != len(tables[0].Cols) {
+				t.Errorf("%s: row %v does not match columns %v", id, row, tables[0].Cols)
+			}
 		}
 	}
 }

@@ -1,0 +1,246 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/accnet/acc/internal/faults"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/stats"
+	"github.com/accnet/acc/internal/topo"
+	"github.com/accnet/acc/internal/workload"
+)
+
+// The robustness suite answers the critique that learned ECN tuning is only
+// evaluated under traffic dynamics (GraphCC, PET): it replays deterministic
+// fault scenarios — hard link failures, random link flapping, and telemetry
+// loss at the collector — and compares ACC against the best static setting
+// on goodput, tail FCT, recovery time, and packets blackholed.
+func init() {
+	register("robust-linkfail", "robustness: leaf-spine link failure + brownout, ACC vs static ECN", runRobustLinkfail)
+	register("robust-flap", "robustness: random link flapping (MTBF/MTTR), ACC vs static ECN", runRobustFlap)
+	register("robust-telemetry", "robustness: stale/dropped ACC telemetry (switch-CPU overload)", runRobustTelemetry)
+}
+
+// robustRow is one policy's measurements from a fault scenario.
+type robustRow struct {
+	goodput   float64 // mean delivered Gbps while the workload ran
+	p99Slow   float64 // p99 FCT slowdown vs ideal serialization
+	recovery  simtime.Duration
+	recovered bool
+	window    faults.Snapshot // counter deltas over the fault window
+	flapDowns int
+	teleDrops uint64
+	flows     int
+}
+
+// recoveryCell formats the recovery-time column.
+func (r robustRow) recoveryCell() string {
+	if !r.recovered {
+		return "n/a"
+	}
+	return r.recovery.String()
+}
+
+// p99Slowdown computes the p99 of per-flow FCT divided by the flow's ideal
+// serialization time at the host line rate — the standard slowdown metric,
+// robust to the flow-size mix in a way raw FCT is not.
+func p99Slowdown(recs []stats.FlowRecord, bw simtime.Rate) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	slows := make([]float64, len(recs))
+	for i, r := range recs {
+		ideal := float64(r.Size) * 8 / float64(bw) // seconds
+		if ideal <= 0 {
+			continue
+		}
+		slows[i] = r.FCT().Seconds() / ideal
+	}
+	sort.Float64s(slows)
+	return stats.Percentile(slows, 0.99)
+}
+
+// The robustness fabric: the stress-test leaf-spine pod.
+const (
+	robustLeaves       = 4
+	robustSpines       = 2
+	robustHostsPerLeaf = 6
+	// leaf-spine links available to fault plans on this fabric
+	robustFabricLinks = robustLeaves * robustSpines
+)
+
+func robustFabric(net *netsim.Network) *topo.Fabric {
+	return topo.LeafSpine(net, robustLeaves, robustHostsPerLeaf, robustSpines, topo.DefaultConfig())
+}
+
+// runRobust drives one policy through a fault scenario on the stress
+// fabric: build, deploy, bind the injector (before deployment draws from
+// the RNG would diverge between policies — the injector is seeded right
+// after the fabric so every policy sees the identical fault sequence),
+// start traffic, inject, then measure the fault window and the recovery.
+func runRobust(o Options, p Policy, plan faults.Plan, tel *faults.Telemetry, dur simtime.Duration) robustRow {
+	net := netsim.New(o.Seed)
+	fab := robustFabric(net)
+	inj, err := faults.NewInjector(net, fab, plan)
+	if err != nil {
+		panic(fmt.Sprintf("exp: robust plan invalid: %v", err))
+	}
+	stop, sys := deployFull(net, fab, p, o)
+	var tele []*faults.StaleDrop
+	if tel != nil && sys != nil {
+		tele = faults.ApplyTelemetry(net, sys.Tuners, *tel)
+	}
+	tracker := faults.Track(net, fab, dur/64)
+
+	var col stats.FCTCollector
+	hostBW := 25 * simtime.Gbps
+	gen := workload.StartPoisson(net, workload.PoissonConfig{
+		Hosts:  fab.Hosts,
+		Sizes:  workload.WebSearch(),
+		Load:   0.6,
+		HostBW: hostBW,
+		Start:  rdmaStarter(net, hostBW, &col),
+	})
+
+	before := faults.Snap(fab)
+	inj.Start()
+	net.RunUntil(simtime.Time(dur))
+	gen.Stop()
+	inj.Stop()
+	// Drain: in-flight flows finish; flap repairs still land.
+	net.RunUntil(simtime.Time(dur + dur/2))
+	inj.Heal()
+	tracker.Stop()
+	stop()
+
+	row := robustRow{
+		goodput:   tracker.Goodput.Avg(),
+		p99Slow:   p99Slowdown(col.Records, hostBW),
+		window:    faults.Snap(fab).Sub(before),
+		flapDowns: inj.FlapDowns,
+		flows:     len(col.Records),
+	}
+	if inj.FirstFaultAt != 0 && inj.LastRepairAt != 0 {
+		row.recovery, row.recovered = tracker.RecoveryTime(inj.FirstFaultAt, inj.LastRepairAt, 0.9, 3)
+	}
+	for _, f := range tele {
+		row.teleDrops += f.Drops
+	}
+	return row
+}
+
+// robustPolicies is the comparison every robustness table reports: ACC
+// against the testbed's best static setting.
+func robustPolicies() []Policy { return []Policy{accPolicy(), secn1()} }
+
+// runRobustLinkfail fails one leaf-spine uplink for the middle half of the
+// run and (optionally, -fault-degrade) brownouts a second uplink over the
+// same window, then reports how each policy rides through it.
+func runRobustLinkfail(o Options) []*Table {
+	dur := o.dur(9 * simtime.Millisecond)
+	var plan faults.Plan
+	plan.LinkDownUp(faults.LeafSpine, 0, dur/4, dur/2)
+	degraded := "off"
+	if f := o.Faults.Degrade; f > 0 && f < 1 {
+		plan.Brownout(faults.LeafSpine, 1, f, dur/4, dur/2)
+		degraded = fmt.Sprintf("%.0f%% of nominal", f*100)
+	}
+	t := &Table{
+		Title: "Robustness: leaf-spine link down over [T/4,T/2] (WebSearch 60%)",
+		Cols:  []string{"policy", "goodput Gbps", "p99 slowdown", "recovery", "blackholed", "PFC pauses", "flows"},
+		Notes: []string{
+			"recovery = time after repair until goodput sustains 90% of its pre-fault baseline",
+			"brownout of a second uplink: " + degraded,
+		},
+	}
+	policies := robustPolicies()
+	rows := make([]robustRow, len(policies))
+	forEachParallel(len(policies), func(i int) {
+		rows[i] = runRobust(o, policies[i], plan, nil, dur)
+	})
+	for i, p := range policies {
+		r := rows[i]
+		t.AddRow(p.Name, r.goodput, r.p99Slow, r.recoveryCell(), r.window.Blackholed, r.window.PFCPauses, r.flows)
+	}
+	return []*Table{t}
+}
+
+// runRobustFlap runs a random flap process over the leaf-spine tier:
+// -fault-links links alternate up/down with exponential MTBF/MTTR drawn
+// from the seeded injector stream, so both policies face the identical
+// failure trace.
+func runRobustFlap(o Options) []*Table {
+	dur := o.dur(9 * simtime.Millisecond)
+	f := faults.Flap{
+		Role:  faults.LeafSpine,
+		Links: o.Faults.Links,
+		MTBF:  o.Faults.MTBF,
+		MTTR:  o.Faults.MTTR,
+	}
+	if f.Links <= 0 {
+		f.Links = 2
+	}
+	var notes []string
+	if f.Links > robustFabricLinks {
+		notes = append(notes, fmt.Sprintf("-fault-links %d clamped to the fabric's %d leaf-spine links", f.Links, robustFabricLinks))
+		f.Links = robustFabricLinks
+	}
+	if f.MTBF <= 0 {
+		f.MTBF = dur / 4
+	}
+	if f.MTTR <= 0 {
+		f.MTTR = dur / 16
+	}
+	plan := faults.Plan{Flaps: []faults.Flap{f}, Horizon: dur}
+	t := &Table{
+		Title: fmt.Sprintf("Robustness: %d leaf-spine links flapping (MTBF %v, MTTR %v)", f.Links, f.MTBF, f.MTTR),
+		Cols:  []string{"policy", "goodput Gbps", "p99 slowdown", "flap downs", "blackholed", "PFC pauses", "flows"},
+		Notes: notes,
+	}
+	policies := robustPolicies()
+	rows := make([]robustRow, len(policies))
+	forEachParallel(len(policies), func(i int) {
+		rows[i] = runRobust(o, policies[i], plan, nil, dur)
+	})
+	for i, p := range policies {
+		r := rows[i]
+		t.AddRow(p.Name, r.goodput, r.p99Slow, r.flapDowns, r.window.Blackholed, r.window.PFCPauses, r.flows)
+	}
+	return []*Table{t}
+}
+
+// runRobustTelemetry starves the ACC collector path (§4.3 switch-CPU
+// overload): every tuner's observations arrive -fault-stale ΔT slots late
+// and each window is lost with probability -fault-drop. The links stay
+// healthy — only ACC's view of them degrades — so the static rows double as
+// the fault-free baseline and the table isolates what telemetry quality is
+// worth.
+func runRobustTelemetry(o Options) []*Table {
+	dur := o.dur(9 * simtime.Millisecond)
+	tel := faults.Telemetry{StaleSlots: o.Faults.Stale, DropProb: o.Faults.DropProb}
+	if tel.DropProb > 1 {
+		tel.DropProb = 1
+	}
+	if tel.StaleSlots <= 0 && tel.DropProb <= 0 {
+		tel = faults.Telemetry{StaleSlots: 4, DropProb: 0.3}
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Robustness: ACC telemetry %d slots stale, %.0f%% windows lost (WebSearch 60%%)", tel.StaleSlots, tel.DropProb*100),
+		Cols:  []string{"policy", "goodput Gbps", "p99 slowdown", "telemetry drops", "flows"},
+	}
+	policies := []Policy{accPolicy(), accPolicy(), secn1()}
+	policies[0].Name = "ACC (faulted telemetry)"
+	policies[1].Name = "ACC (clean)"
+	tels := []*faults.Telemetry{&tel, nil, nil}
+	rows := make([]robustRow, len(policies))
+	forEachParallel(len(policies), func(i int) {
+		rows[i] = runRobust(o, policies[i], faults.Plan{}, tels[i], dur)
+	})
+	for i, p := range policies {
+		r := rows[i]
+		t.AddRow(p.Name, r.goodput, r.p99Slow, r.teleDrops, r.flows)
+	}
+	return []*Table{t}
+}

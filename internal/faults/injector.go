@@ -1,0 +1,214 @@
+package faults
+
+import (
+	"math/rand"
+
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/topo"
+)
+
+// Applied records one fault action the injector actually performed, in
+// order; it doubles as the determinism witness in tests.
+type Applied struct {
+	At   simtime.Time
+	Kind Kind
+	Link string
+}
+
+// Injector binds a Plan to a built fabric and drives it through the
+// simulation event queue. Create it after the fabric is built and before
+// (or after) traffic starts, then call Start; the point of creation fixes
+// the RNG stream, so keep it at the same place across runs for
+// reproducibility.
+type Injector struct {
+	Net  *netsim.Network
+	Plan Plan
+
+	links   *LinkSet
+	rng     *rand.Rand
+	nominal map[*netsim.Port]simtime.Rate
+	start   simtime.Time
+	started bool
+	stopped bool
+	active  int // faults currently in effect (down or degraded links)
+
+	// Log is every action applied, in application order.
+	Log []Applied
+	// FlapDowns counts failures induced by flap processes (a subset of the
+	// LinkDown entries in Log).
+	FlapDowns int
+	// FirstFaultAt / LastRepairAt bound the observed fault window: the
+	// first moment any fault took effect and the last moment the fabric
+	// returned to fully healthy. Zero when no fault fired yet.
+	FirstFaultAt simtime.Time
+	LastRepairAt simtime.Time
+}
+
+// NewInjector validates the plan against the fabric and prepares an
+// injector. The RNG stream for flap and telemetry randomness is drawn from
+// the network RNG here, exactly once.
+func NewInjector(net *netsim.Network, fab *topo.Fabric, plan Plan) (*Injector, error) {
+	links := Links(fab)
+	if err := plan.Validate(links); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		Net:     net,
+		Plan:    plan,
+		links:   links,
+		rng:     rand.New(rand.NewSource(net.Rng.Int63())),
+		nominal: make(map[*netsim.Port]simtime.Rate),
+	}, nil
+}
+
+// Links exposes the bound link set (for experiments that report per-link
+// detail).
+func (in *Injector) Links() *LinkSet { return in.links }
+
+// Start schedules the plan's timeline and launches its flap processes,
+// all relative to the current virtual time. Start is idempotent-hostile by
+// design: call it once.
+func (in *Injector) Start() {
+	if in.started {
+		panic("faults: Injector.Start called twice")
+	}
+	in.started = true
+	in.start = in.Net.Now()
+	for _, ev := range in.Plan.Sorted() {
+		ev := ev
+		in.Net.Q.After(ev.At, func() {
+			if in.stopped {
+				return
+			}
+			in.apply(ev)
+		})
+	}
+	for _, f := range in.Plan.Flaps {
+		for i := 0; i < f.Links; i++ {
+			in.scheduleFlap(in.links.Of(f.Role)[i], f)
+		}
+	}
+}
+
+// Stop halts future fault actions. Links already down stay down (call
+// Heal to force-repair); pending repair events still run so flapped links
+// are never stranded by their own process — Stop only blocks new faults.
+func (in *Injector) Stop() { in.stopped = true }
+
+// Heal force-repairs the fabric: every downed link in the set comes up and
+// every degraded port returns to nominal bandwidth.
+func (in *Injector) Heal() {
+	for r := Role(0); r < numRoles; r++ {
+		for _, l := range in.links.Of(r) {
+			if l.Down() {
+				l.A.SetDown(false)
+				in.record(LinkUp, l)
+				in.markRepair()
+			}
+		}
+	}
+	for port, bw := range in.nominal {
+		port.SetBandwidth(bw)
+	}
+	in.nominal = make(map[*netsim.Port]simtime.Rate)
+}
+
+// apply performs one timeline event.
+func (in *Injector) apply(ev Event) {
+	l := in.links.Of(ev.Role)[ev.Index]
+	switch ev.Kind {
+	case LinkDown:
+		if !l.Down() {
+			in.markFault()
+			l.A.SetDown(true)
+		}
+	case LinkUp:
+		if l.Down() {
+			l.A.SetDown(false)
+			in.markRepair()
+		}
+	case Degrade:
+		in.degrade(l, ev.Factor)
+	case Restore:
+		in.restore(l)
+	}
+	in.record(ev.Kind, l)
+}
+
+func (in *Injector) degrade(l Link, factor float64) {
+	fresh := false
+	for _, port := range [2]*netsim.Port{l.A, l.B} {
+		if _, ok := in.nominal[port]; !ok {
+			in.nominal[port] = port.Bandwidth
+			fresh = true
+		}
+		port.SetBandwidth(in.nominal[port] * simtime.Rate(factor))
+	}
+	if fresh {
+		in.markFault()
+	}
+}
+
+func (in *Injector) restore(l Link) {
+	restored := false
+	for _, port := range [2]*netsim.Port{l.A, l.B} {
+		if bw, ok := in.nominal[port]; ok {
+			port.SetBandwidth(bw)
+			delete(in.nominal, port)
+			restored = true
+		}
+	}
+	if restored {
+		in.markRepair()
+	}
+}
+
+// scheduleFlap arms the next failure of one flapping link.
+func (in *Injector) scheduleFlap(l Link, f Flap) {
+	up := simtime.Duration(in.rng.ExpFloat64() * float64(f.MTBF))
+	in.Net.Q.After(up, func() {
+		if in.stopped || in.pastHorizon() || l.Down() {
+			return
+		}
+		in.markFault()
+		l.A.SetDown(true)
+		in.FlapDowns++
+		in.record(LinkDown, l)
+		down := simtime.Duration(in.rng.ExpFloat64() * float64(f.MTTR))
+		in.Net.Q.After(down, func() {
+			// The repair always runs — even stopped or past-horizon
+			// injectors never strand a link they failed.
+			l.A.SetDown(false)
+			in.markRepair()
+			in.record(LinkUp, l)
+			if !in.stopped && !in.pastHorizon() {
+				in.scheduleFlap(l, f)
+			}
+		})
+	})
+}
+
+func (in *Injector) pastHorizon() bool {
+	return in.Plan.Horizon > 0 && in.Net.Now().Sub(in.start) >= in.Plan.Horizon
+}
+
+func (in *Injector) record(k Kind, l Link) {
+	in.Log = append(in.Log, Applied{At: in.Net.Now(), Kind: k, Link: l.Name()})
+}
+
+func (in *Injector) markFault() {
+	if in.active == 0 && in.FirstFaultAt == 0 {
+		in.FirstFaultAt = in.Net.Now()
+	}
+	in.active++
+}
+
+func (in *Injector) markRepair() {
+	if in.active > 0 {
+		in.active--
+		if in.active == 0 {
+			in.LastRepairAt = in.Net.Now()
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// TestSetDownBlackholesPropagation kills a link while a packet is
+// propagating: the packet must be lost and counted, never delivered.
+func TestSetDownBlackholesPropagation(t *testing.T) {
+	net, h1, h2, _ := rig(t, nil)
+	delivered := 0
+	h2.Register(1, EndpointFunc(func(p *Packet) { delivered++ }))
+	h1.Send(dataPkt(h1, h2, 1, 1048))
+
+	// First hop: ser on the NIC, then 600ns propagation to the switch.
+	ser := simtime.TxTime(1048, 25*simtime.Gbps)
+	net.RunUntil(simtime.Time(ser + 100)) // mid-propagation
+	h1.Port.SetDown(true)
+	net.Run()
+
+	if delivered != 0 {
+		t.Fatalf("%d packets delivered across a link that died mid-flight", delivered)
+	}
+	if h1.Port.BlackholedPackets != 1 || h1.Port.BlackholedBytes != 1048 {
+		t.Fatalf("blackhole counters = %d pkts / %d bytes, want 1/1048",
+			h1.Port.BlackholedPackets, h1.Port.BlackholedBytes)
+	}
+}
+
+// TestSetDownBlackholesSerialization kills the switch egress link while the
+// packet is on the transmitter: the packet is lost, but the shared-buffer
+// accounting must still be released so the switch does not leak capacity.
+func TestSetDownBlackholesSerialization(t *testing.T) {
+	net, h1, h2, sw := rig(t, nil)
+	delivered := 0
+	h2.Register(1, EndpointFunc(func(p *Packet) { delivered++ }))
+	h1.Send(dataPkt(h1, h2, 1, 1048))
+
+	egress := sw.Ports[1] // toward h2
+	ser := simtime.TxTime(1048, 25*simtime.Gbps)
+	// The packet reaches the switch at ser+600 and starts serializing.
+	net.RunUntil(simtime.Time(ser + 600 + ser/2))
+	egress.SetDown(true)
+	net.Run()
+
+	if delivered != 0 {
+		t.Fatal("packet delivered across a downed egress link")
+	}
+	if egress.BlackholedPackets != 1 {
+		t.Fatalf("egress blackholed %d packets, want 1", egress.BlackholedPackets)
+	}
+	if egress.TxBytesTotal != 0 {
+		t.Fatal("blackholed packet counted as transmitted")
+	}
+	if sw.BufferUsed() != 0 {
+		t.Fatalf("switch buffer leaked %d bytes after blackhole", sw.BufferUsed())
+	}
+}
+
+// TestSetDownRecoveryResumes verifies traffic flows again after repair and
+// that queued (not yet serialized) packets survive the outage.
+func TestSetDownRecoveryResumes(t *testing.T) {
+	net, h1, h2, _ := rig(t, nil)
+	delivered := 0
+	h2.Register(1, EndpointFunc(func(p *Packet) { delivered++ }))
+
+	h1.Port.SetDown(true)
+	h1.Send(dataPkt(h1, h2, 1, 1000)) // parked in the NIC queue
+	net.RunFor(10 * simtime.Microsecond)
+	if delivered != 0 {
+		t.Fatal("delivery across a down link")
+	}
+	h1.Port.SetDown(false)
+	net.Run()
+	if delivered != 1 {
+		t.Fatalf("queued packet not delivered after repair (got %d)", delivered)
+	}
+	if h1.Port.BlackholedPackets != 0 {
+		t.Fatal("queued packet wrongly blackholed")
+	}
+}
+
+// TestSetBandwidthDegradesServiceRate halves the rate and checks the next
+// packet's serialization takes twice as long.
+func TestSetBandwidthDegradesServiceRate(t *testing.T) {
+	net, h1, h2, _ := rig(t, nil)
+	var arrival simtime.Time
+	h2.Register(1, EndpointFunc(func(p *Packet) { arrival = net.Now() }))
+
+	full := simtime.TxTime(1048, 25*simtime.Gbps)
+	h1.Send(dataPkt(h1, h2, 1, 1048))
+	net.Run()
+	base := arrival // 2 serializations + 2 propagations
+
+	// Degrade only the NIC uplink: its hop serializes 2x slower.
+	h1.Port.SetBandwidth(12.5 * simtime.Gbps)
+	start := net.Now()
+	h1.Send(dataPkt(h1, h2, 1, 1048))
+	net.Run()
+	got := arrival.Sub(start)
+	slow := simtime.TxTime(1048, 12.5*simtime.Gbps)
+	want := base.Sub(0) + (slow - full) // slow hop replaces one fast serialization
+	if got != want {
+		t.Fatalf("degraded transfer took %v, want %v", got, want)
+	}
+}
+
+// TestRouteBlackholeCounter checks the dedicated no-route counter.
+func TestRouteBlackholeCounter(t *testing.T) {
+	net, h1, h2, sw := rig(t, nil)
+	sw.Ports[1].SetDown(true) // only route to h2
+	h1.Send(dataPkt(h1, h2, 1, 700))
+	net.Run()
+	if sw.RouteBlackholes != 1 {
+		t.Fatalf("RouteBlackholes = %d, want 1", sw.RouteBlackholes)
+	}
+	if sw.DropsTotal != 1 {
+		t.Fatalf("DropsTotal = %d, want 1", sw.DropsTotal)
+	}
+}

@@ -127,6 +127,12 @@ type Port struct {
 	PauseTxEvents  uint64 // pause frames sent (receiver-side congestion)
 	PausedDuration simtime.Duration
 	pausedSince    [NumPrio]simtime.Time
+
+	// Blackhole counters: packets lost on this transmitter because the link
+	// was down when they finished serializing or when they would have
+	// arrived at the peer (see SetDown).
+	BlackholedPackets uint64
+	BlackholedBytes   uint64
 }
 
 // newPort creates a port with one egress queue per entry in weights
@@ -174,6 +180,14 @@ func (p *Port) IsDown() bool { return p.down }
 // queued stay queued; the transmitter stalls while down and resumes on
 // recovery. Routing (ECMP) skips down links, so traffic reconverges onto
 // the surviving paths.
+//
+// In-flight traffic is lost, not delivered: a packet whose serialization or
+// propagation completes while the link is down is blackholed — dropped and
+// counted in the transmitting port's BlackholedPackets/BlackholedBytes —
+// mirroring a real cable pull, where bits on the wire never reach the far
+// end. Shared-buffer accounting is still released for blackholed packets,
+// and transports must recover via their own timeout/retransmission path. A
+// packet only survives if the link is back up by the time it would arrive.
 func (p *Port) SetDown(down bool) {
 	p.down = down
 	if p.Peer != nil {
@@ -185,6 +199,20 @@ func (p *Port) SetDown(down bool) {
 			p.Peer.trySend()
 		}
 	}
+}
+
+// SetBandwidth changes the link rate of this transmitter at runtime
+// (bandwidth-degradation faults: a flapping optic renegotiating a lower
+// speed, or an oversubscribed virtual link). It affects packets whose
+// serialization starts after the call; the packet currently on the wire
+// keeps the timing it started with. The two directions of a link are
+// independent — degrade the peer too for a symmetric brownout.
+func (p *Port) SetBandwidth(r simtime.Rate) { p.Bandwidth = r }
+
+// blackhole counts pkt as lost on the down link.
+func (p *Port) blackhole(pkt *Packet) {
+	p.BlackholedPackets++
+	p.BlackholedBytes += uint64(pkt.Size)
 }
 
 // Utilization returns the fraction of capacity used over a window, given the
@@ -336,6 +364,15 @@ func (p *Port) trySend() {
 	txd := simtime.TxTime(pkt.Size, p.Bandwidth)
 	p.net.Q.After(txd, func() {
 		p.busy = false
+		if rel, ok := p.Owner.(bufferReleaser); ok {
+			rel.releaseBuffer(pkt)
+		}
+		if p.down {
+			// The link died mid-serialization: the partial frame never
+			// reaches the peer (see SetDown).
+			p.blackhole(pkt)
+			return
+		}
 		p.TxBytesTotal += uint64(pkt.Size)
 		q.TxBytes += uint64(pkt.Size)
 		q.TxPackets++
@@ -343,18 +380,21 @@ func (p *Port) trySend() {
 			q.TxMarkedBytes += uint64(pkt.Size)
 			q.TxMarkedPkts++
 		}
-		if rel, ok := p.Owner.(bufferReleaser); ok {
-			rel.releaseBuffer(pkt)
-		}
 		p.deliver(pkt)
 		p.trySend()
 	})
 }
 
 // deliver propagates a serialized packet across the link to the peer node.
+// A packet whose propagation ends while the link is down is blackholed
+// (see SetDown).
 func (p *Port) deliver(pkt *Packet) {
 	peer := p.Peer
 	p.net.Q.After(p.Delay, func() {
+		if p.down {
+			p.blackhole(pkt)
+			return
+		}
 		peer.RxBytesTotal += uint64(pkt.Size)
 		peer.Owner.Receive(pkt, peer)
 	})

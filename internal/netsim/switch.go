@@ -66,6 +66,9 @@ type Switch struct {
 	pauseSent  [][]bool // pause currently asserted toward upstream [port][prio]
 	DropsTotal uint64   // buffer-overflow drops
 	MarksTotal uint64   // packets CE-marked at this switch
+	// RouteBlackholes counts packets dropped because every ECMP candidate
+	// link toward the destination was down (also included in DropsTotal).
+	RouteBlackholes uint64
 }
 
 // NewSwitch creates a switch node and registers it with the network.
@@ -197,6 +200,7 @@ func (s *Switch) Receive(pkt *Packet, in *Port) {
 	if out == nil {
 		// Every candidate link is down: blackhole the packet.
 		s.DropsTotal++
+		s.RouteBlackholes++
 		return
 	}
 

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+func TestWriteSeriesCSVRoundTrip(t *testing.T) {
+	var s Series
+	times := []simtime.Time{0, simtime.Time(simtime.Microsecond), simtime.Time(3 * simtime.Millisecond)}
+	vals := []float64{0, 12.5, 99.125}
+	for i := range times {
+		s.Add(times[i], vals[i])
+	}
+	var b strings.Builder
+	if err := WriteSeriesCSV(&b, &s, "qlen_kb"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(recs) != len(times)+1 {
+		t.Fatalf("got %d CSV rows, want header + %d", len(recs), len(times))
+	}
+	if recs[0][0] != "time_s" || recs[0][1] != "qlen_kb" {
+		t.Errorf("header = %v, want [time_s qlen_kb]", recs[0])
+	}
+	for i := range times {
+		ts, err := strconv.ParseFloat(recs[i+1][0], 64)
+		if err != nil {
+			t.Fatalf("row %d time %q: %v", i, recs[i+1][0], err)
+		}
+		if ts != times[i].Seconds() {
+			t.Errorf("row %d time = %v, want %v", i, ts, times[i].Seconds())
+		}
+		v, err := strconv.ParseFloat(recs[i+1][1], 64)
+		if err != nil {
+			t.Fatalf("row %d value %q: %v", i, recs[i+1][1], err)
+		}
+		if v != vals[i] {
+			t.Errorf("row %d value = %v, want %v", i, v, vals[i])
+		}
+	}
+}
+
+func TestWriteFCTCSVRoundTrip(t *testing.T) {
+	in := []FlowRecord{
+		{Size: 1500, Start: 0, End: simtime.Time(480 * simtime.Nanosecond), Class: "rdma"},
+		{Size: 10 << 20, Start: simtime.Time(simtime.Millisecond), End: simtime.Time(4 * simtime.Millisecond), Class: "tcp"},
+	}
+	var b strings.Builder
+	if err := WriteFCTCSV(&b, in); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(recs) != len(in)+1 {
+		t.Fatalf("got %d CSV rows, want header + %d", len(recs), len(in))
+	}
+	want := []string{"size_bytes", "start_s", "end_s", "fct_s", "class"}
+	for i, col := range want {
+		if recs[0][i] != col {
+			t.Errorf("header[%d] = %q, want %q", i, recs[0][i], col)
+		}
+	}
+	for i, r := range in {
+		row := recs[i+1]
+		if size, _ := strconv.ParseInt(row[0], 10, 64); size != r.Size {
+			t.Errorf("row %d size = %s, want %d", i, row[0], r.Size)
+		}
+		start, _ := strconv.ParseFloat(row[1], 64)
+		end, _ := strconv.ParseFloat(row[2], 64)
+		fct, _ := strconv.ParseFloat(row[3], 64)
+		if start != r.Start.Seconds() || end != r.End.Seconds() {
+			t.Errorf("row %d times = (%v,%v), want (%v,%v)", i, start, end, r.Start.Seconds(), r.End.Seconds())
+		}
+		if fct != r.FCT().Seconds() {
+			t.Errorf("row %d fct = %v, want %v", i, fct, r.FCT().Seconds())
+		}
+		if row[4] != r.Class {
+			t.Errorf("row %d class = %q, want %q", i, row[4], r.Class)
+		}
+	}
+}
+
+func TestWriteFCTCSVEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteFCTCSV(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(b.String()); got != "size_bytes,start_s,end_s,fct_s,class" {
+		t.Errorf("empty export = %q, want header only", got)
+	}
+}
