@@ -1,0 +1,54 @@
+// Command accbench measures raw engine throughput — the same leaf-spine
+// line-rate core as BenchmarkSimulatorCore — and writes the result as
+// machine-readable JSON, so CI (and humans diffing two checkouts) can track
+// events/sec, ns/event, and allocations/event without parsing `go test
+// -bench` output.
+//
+// Usage:
+//
+//	accbench                       # write BENCH_core.json in the cwd
+//	accbench -out /tmp/core.json   # write elsewhere
+//	accbench -out -                # print to stdout only
+//	accbench -window 5ms -seed 7   # larger measured window
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/accnet/acc/internal/perf"
+	"github.com/accnet/acc/internal/simtime"
+)
+
+func main() {
+	o := perf.DefaultCoreOptions()
+	var (
+		out    = flag.String("out", "BENCH_core.json", "output path ('-' = stdout only)")
+		seed   = flag.Int64("seed", o.Seed, "simulation seed")
+		window = flag.Duration("window", time.Duration(o.Window), "measured span of virtual time")
+		warmup = flag.Duration("warmup", time.Duration(o.Warmup), "virtual warmup before measuring")
+	)
+	flag.Parse()
+	o.Seed = *seed
+	o.Window = simtime.Duration(*window)
+	o.Warmup = simtime.Duration(*warmup)
+
+	r := perf.RunCore(o)
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "accbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out != "-" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "accbench:", err)
+			os.Exit(1)
+		}
+	}
+	os.Stdout.Write(buf)
+}

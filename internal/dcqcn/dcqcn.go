@@ -99,6 +99,13 @@ type Flow struct {
 
 	onDone func(*Flow)
 	done   bool
+
+	// Pre-bound callbacks, created once in Start: the pacer fires per
+	// packet and the alpha/increase timers fire continuously, so binding
+	// method values here keeps those paths allocation-free.
+	trySendFn func()
+	alphaFn   func()
+	incFn     func()
 }
 
 // Rate returns the sender's current injection rate.
@@ -141,6 +148,9 @@ func Start(net *netsim.Network, src, dst *netsim.Host, size int64, p Params, onD
 		alpha:  1, // per the DCQCN paper, α starts at 1: first CNP halves the rate
 		onDone: onDone,
 	}
+	f.trySendFn = f.trySend
+	f.alphaFn = f.alphaTick
+	f.incFn = f.incTick
 	// Sender side receives CNPs; receiver side receives data.
 	src.Register(f.ID, netsim.EndpointFunc(f.senderHandle))
 	dst.Register(f.ID, netsim.EndpointFunc(f.receiverHandle))
@@ -149,46 +159,46 @@ func Start(net *netsim.Network, src, dst *netsim.Host, size int64, p Params, onD
 }
 
 // trySend emits the next data packet if the NIC admits it, then re-arms the
-// pacer at the current rate.
+// pacer at the current rate. The pacing timer's Event is reused across
+// packets, so steady-state pacing allocates nothing.
 func (f *Flow) trySend() {
-	f.paceEv = nil
 	if f.sent >= f.Size {
 		return
 	}
 	port := f.Src.Port
 	if !port.CanInject(f.P.Prio) {
-		port.WhenReady(f.P.Prio, f.trySend)
+		port.WhenReady(f.P.Prio, f.trySendFn)
 		return
 	}
 	payload := f.P.MTU
 	if rem := f.Size - f.sent; int64(payload) > rem {
 		payload = int(rem)
 	}
-	pkt := &netsim.Packet{
-		Kind:      netsim.KindData,
-		Flow:      f.ID,
-		Src:       f.Src.ID(),
-		Dst:       f.Dst.ID(),
-		Prio:      f.P.Prio,
-		Size:      payload + netsim.DataHeaderBytes,
-		Seq:       f.sent,
-		FlowBytes: f.Size,
-		ECT:       true,
-		Last:      f.sent+int64(payload) >= f.Size,
-	}
+	pkt := f.net.AllocPacket()
+	pkt.Kind = netsim.KindData
+	pkt.Flow = f.ID
+	pkt.Src = f.Src.ID()
+	pkt.Dst = f.Dst.ID()
+	pkt.Prio = f.P.Prio
+	pkt.Size = payload + netsim.DataHeaderBytes
+	pkt.Seq = f.sent
+	pkt.FlowBytes = f.Size
+	pkt.ECT = true
+	pkt.Last = f.sent+int64(payload) >= f.Size
+	size := pkt.Size
 	f.Src.Send(pkt)
 	f.sent += int64(payload)
 
 	// Byte-counter stage of the rate-increase machinery.
-	f.incBytes += int64(pkt.Size)
+	f.incBytes += int64(size)
 	if f.incBytes >= f.P.ByteCounter {
 		f.incBytes = 0
 		f.increase(false)
 	}
 
 	if f.sent < f.Size {
-		gap := simtime.TxTime(pkt.Size, f.rc)
-		f.paceEv = f.net.Q.After(gap, f.trySend)
+		gap := simtime.TxTime(size, f.rc)
+		f.paceEv = f.net.Q.ResetAfter(f.paceEv, gap, f.trySendFn)
 	}
 }
 
@@ -221,32 +231,32 @@ func (f *Flow) cutRate() {
 }
 
 func (f *Flow) armAlphaTimer() {
-	if f.alphaEv != nil {
-		f.alphaEv.Cancel()
+	f.alphaEv = f.net.Q.ResetAfter(f.alphaEv, f.P.AlphaTimer, f.alphaFn)
+}
+
+// alphaTick decays alpha toward zero while no CNPs arrive, re-arming itself
+// until the estimate is negligible. The fired Event is kept on the flow for
+// reuse by the next arm.
+func (f *Flow) alphaTick() {
+	f.alpha *= 1 - f.P.G
+	if f.alpha > 1e-6 {
+		f.armAlphaTimer()
+	} else {
+		f.alpha = 0
 	}
-	f.alphaEv = f.net.Q.After(f.P.AlphaTimer, func() {
-		f.alpha *= 1 - f.P.G
-		if f.alpha > 1e-6 {
-			f.armAlphaTimer()
-		} else {
-			f.alpha = 0
-			f.alphaEv = nil
-		}
-	})
 }
 
 func (f *Flow) armIncreaseTimer() {
-	if f.incEv != nil {
-		f.incEv.Cancel()
+	f.incEv = f.net.Q.ResetAfter(f.incEv, f.P.IncreaseTimer, f.incFn)
+}
+
+// incTick runs one timer-driven stage of the rate-recovery machinery,
+// re-arming while the flow still has bytes to send or headroom to recover.
+func (f *Flow) incTick() {
+	f.increase(true)
+	if f.sent < f.Size || f.rc < f.line {
+		f.armIncreaseTimer()
 	}
-	f.incEv = f.net.Q.After(f.P.IncreaseTimer, func() {
-		f.increase(true)
-		if f.sent < f.Size || f.rc < f.line {
-			f.armIncreaseTimer()
-		} else {
-			f.incEv = nil
-		}
-	})
 }
 
 // increase runs one stage of the rate-recovery state machine. timer selects
@@ -293,18 +303,17 @@ func (f *Flow) receiverHandle(pkt *netsim.Packet) {
 		if !f.cnpSent || now.Sub(f.lastCNP) >= f.P.CNPInterval {
 			f.cnpSent = true
 			f.lastCNP = now
-			cnp := &netsim.Packet{
-				Kind: netsim.KindCNP,
-				Flow: f.ID,
-				Src:  f.Dst.ID(),
-				Dst:  f.Src.ID(),
-				Prio: f.P.Prio,
-				Size: netsim.CtrlPacketBytes,
-				// CNPs ride a protected class in RoCE deployments: model
-				// that by making them ECN-capable, so WRED marks rather
-				// than drops them (nothing reads CE on a CNP).
-				ECT: true,
-			}
+			cnp := f.net.AllocPacket()
+			cnp.Kind = netsim.KindCNP
+			cnp.Flow = f.ID
+			cnp.Src = f.Dst.ID()
+			cnp.Dst = f.Src.ID()
+			cnp.Prio = f.P.Prio
+			cnp.Size = netsim.CtrlPacketBytes
+			// CNPs ride a protected class in RoCE deployments: model
+			// that by making them ECN-capable, so WRED marks rather
+			// than drops them (nothing reads CE on a CNP).
+			cnp.ECT = true
 			f.Dst.Send(cnp)
 		}
 	}

@@ -1,0 +1,58 @@
+//go:build !race
+
+package eventq
+
+import (
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// TestAllocFreeCallPath pins the typed-event fast path at zero allocations:
+// schedule-plus-fire through CallAfter must recycle Event structs from the
+// queue's free list once warmed up. This is the per-packet-hop path (two
+// events per hop), so a single allocation here multiplies into millions per
+// experiment.
+func TestAllocFreeCallPath(t *testing.T) {
+	q := New()
+	fn := func(any) {}
+	arg := &struct{ n int }{} // pointer arg boxes into any without allocating
+	// Warm the free list.
+	q.CallAfter(1, fn, arg)
+	q.Run()
+
+	avg := testing.AllocsPerRun(1000, func() {
+		q.CallAfter(simtime.Duration(10), fn, arg)
+		q.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("CallAfter+Step allocates %v/op, want 0", avg)
+	}
+}
+
+// TestAllocFreeResetPath pins timer reuse at zero allocations: the
+// Reset-based re-arm pattern (pacing, RTO) must reuse the holder's single
+// Event for both the fired-and-rearmed and the pending-reschedule cases.
+func TestAllocFreeResetPath(t *testing.T) {
+	q := New()
+	fn := func() {}
+	ev := q.ResetAfter(nil, 1, fn) // initial allocation
+	q.Run()
+
+	avg := testing.AllocsPerRun(1000, func() {
+		ev = q.ResetAfter(ev, 10, fn)
+		q.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("fired-event ResetAfter allocates %v/op, want 0", avg)
+	}
+
+	// Pending reschedule: the event never fires between resets.
+	avg = testing.AllocsPerRun(1000, func() {
+		ev = q.ResetAfter(ev, 10, fn)
+	})
+	if avg != 0 {
+		t.Fatalf("pending-event ResetAfter allocates %v/op, want 0", avg)
+	}
+	q.Run()
+}

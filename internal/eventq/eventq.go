@@ -5,6 +5,16 @@
 // increasing sequence number), so two runs with the same seed replay
 // identically. Events may be cancelled, which is implemented by lazy deletion:
 // a cancelled event stays in the heap but its callback is skipped when popped.
+//
+// Two scheduling paths exist:
+//
+//   - At/After return a *Event handle the caller may Cancel or Reset. These
+//     events are never recycled, because the caller can hold the handle
+//     indefinitely.
+//   - CallAt/CallAfter take a pre-bound func(any) plus an argument and return
+//     nothing. Their Event structs come from a per-queue free list and are
+//     recycled after firing, so the per-packet hot path (serialize, propagate)
+//     schedules without allocating and without capturing a closure.
 package eventq
 
 import (
@@ -16,11 +26,18 @@ import (
 // Event is a scheduled callback. It is returned by the scheduling methods so
 // callers can cancel pending timers.
 type Event struct {
-	at        simtime.Time
-	seq       uint64
-	fn        func()
+	at  simtime.Time
+	seq uint64
+
+	// Exactly one of fn / afn is set. afn events carry their argument in arg
+	// instead of capturing it in a closure.
+	fn  func()
+	afn func(any)
+	arg any
+
 	cancelled bool
-	index     int // heap index, -1 once popped
+	pooled    bool // afn fast path: recycle into q.free after firing
+	index     int  // heap index, -1 once popped
 }
 
 // At returns the virtual time the event fires at.
@@ -32,6 +49,8 @@ func (e *Event) Cancel() {
 	if e != nil {
 		e.cancelled = true
 		e.fn = nil // release captured state early
+		e.afn = nil
+		e.arg = nil
 	}
 }
 
@@ -75,6 +94,7 @@ type Queue struct {
 	seq       uint64
 	now       simtime.Time
 	processed uint64
+	free      []*Event // recycled CallAt events
 }
 
 // New returns an empty scheduler positioned at the simulation epoch.
@@ -90,12 +110,16 @@ func (q *Queue) Len() int { return len(q.h) }
 // Processed returns the number of events executed so far.
 func (q *Queue) Processed() uint64 { return q.processed }
 
-// At schedules fn to run at virtual time t. Scheduling in the past panics:
-// it always indicates a simulator bug and would otherwise corrupt causality.
-func (q *Queue) At(t simtime.Time, fn func()) *Event {
+func (q *Queue) checkTime(t simtime.Time) {
 	if t < q.now {
 		panic("eventq: scheduling event in the past")
 	}
+}
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it always indicates a simulator bug and would otherwise corrupt causality.
+func (q *Queue) At(t simtime.Time, fn func()) *Event {
+	q.checkTime(t)
 	e := &Event{at: t, seq: q.seq, fn: fn}
 	q.seq++
 	heap.Push(&q.h, e)
@@ -111,19 +135,106 @@ func (q *Queue) After(d simtime.Duration, fn func()) *Event {
 	return q.At(q.now.Add(d), fn)
 }
 
+// CallAt schedules fn(arg) at virtual time t on a recycled event. The event
+// cannot be cancelled (no handle is returned); use At for cancellable timers.
+// Callers pre-bind fn once (e.g. a stored method value) so the hot path
+// allocates nothing: the Event comes from the free list and a pointer-typed
+// arg boxes into the any without allocating.
+func (q *Queue) CallAt(t simtime.Time, fn func(any), arg any) {
+	q.checkTime(t)
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		e = &Event{}
+	}
+	e.at = t
+	e.seq = q.seq
+	e.afn = fn
+	e.arg = arg
+	e.pooled = true
+	e.cancelled = false
+	q.seq++
+	heap.Push(&q.h, e)
+}
+
+// CallAfter schedules fn(arg) to run d after the current time (negative d is
+// clamped to zero) on a recycled event. See CallAt.
+func (q *Queue) CallAfter(d simtime.Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	q.CallAt(q.now.Add(d), fn, arg)
+}
+
+// Reset reschedules ev to fire fn at time t, reusing its allocation: a
+// pending event is moved within the heap, a fired or cancelled-and-popped one
+// is pushed back. A nil ev allocates, so timer owners can uniformly write
+//
+//	f.ev = q.Reset(f.ev, t, f.fn)
+//
+// and the flow's timer churn (pacing, RTO re-arming) settles into a single
+// Event for the lifetime of the holder. The rescheduled event takes a fresh
+// sequence number, exactly as a Cancel-plus-At pair would, so FIFO
+// tie-breaking — and therefore replay determinism — is unchanged.
+func (q *Queue) Reset(ev *Event, t simtime.Time, fn func()) *Event {
+	q.checkTime(t)
+	if ev == nil || ev.pooled {
+		return q.At(t, fn)
+	}
+	ev.at = t
+	ev.seq = q.seq
+	ev.fn = fn
+	ev.cancelled = false
+	q.seq++
+	if ev.index >= 0 {
+		heap.Fix(&q.h, ev.index)
+	} else {
+		heap.Push(&q.h, ev)
+	}
+	return ev
+}
+
+// ResetAfter is Reset positioned d after the current time (negative d is
+// clamped to zero).
+func (q *Queue) ResetAfter(ev *Event, d simtime.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return q.Reset(ev, q.now.Add(d), fn)
+}
+
+// recycle returns a popped CallAt event to the free list.
+func (q *Queue) recycle(e *Event) {
+	e.afn = nil
+	e.arg = nil
+	q.free = append(q.free, e)
+}
+
 // Step executes the earliest pending event and advances the clock to it.
 // It returns false when no runnable event remains.
 func (q *Queue) Step() bool {
 	for len(q.h) > 0 {
 		e := heap.Pop(&q.h).(*Event)
 		if e.cancelled {
+			if e.pooled {
+				q.recycle(e)
+			}
 			continue
 		}
 		q.now = e.at
-		fn := e.fn
-		e.fn = nil
 		q.processed++
-		fn()
+		if e.pooled {
+			fn, arg := e.afn, e.arg
+			q.recycle(e)
+			fn(arg)
+		} else {
+			fn := e.fn
+			e.fn = nil
+			fn()
+		}
 		return true
 	}
 	return false

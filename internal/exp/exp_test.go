@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
@@ -144,6 +145,37 @@ func TestDeterminismSameSeed(t *testing.T) {
 		if a != b {
 			t.Errorf("%s: same-seed runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", id, a, b)
 		}
+	}
+}
+
+// TestDeterminismAcrossGOMAXPROCS pins the pooling invariant that the packet
+// and event free lists are per-Network: robust-linkfail fans its policy runs
+// out over forEachParallel, so if a pool were ever shared between those
+// concurrent Networks, allocation order (and with it packet identity under
+// reuse) would depend on worker interleaving. The rendered tables must be
+// byte-identical whether the runs are serialized (GOMAXPROCS=1) or fully
+// parallel.
+func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	o := DefaultOptions()
+	o.Scale = 0.25
+	o.OfflineEpisodes = 4
+	run := func() string {
+		tables, err := Run("robust-linkfail", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderTables(tables)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial := run()
+	runtime.GOMAXPROCS(prev)
+	parallel := run()
+	if serial != parallel {
+		t.Errorf("GOMAXPROCS=1 vs %d runs differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			prev, serial, parallel)
 	}
 }
 

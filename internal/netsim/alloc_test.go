@@ -1,0 +1,66 @@
+//go:build !race
+
+package netsim
+
+import (
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// TestAllocFreePacketHop pins the full per-packet pipeline at zero
+// allocations in steady state: pool alloc, NIC enqueue, serialization event,
+// propagation event, delivery, and release back to the pool, across two
+// hosts wired back to back.
+func TestAllocFreePacketHop(t *testing.T) {
+	net := New(1)
+	h1 := NewHost(net, "h1")
+	h2 := NewHost(net, "h2")
+	p1 := h1.AttachPort(25*simtime.Gbps, 600*simtime.Nanosecond, nil)
+	p2 := h2.AttachPort(25*simtime.Gbps, 600*simtime.Nanosecond, nil)
+	Connect(p1, p2)
+	h2.Register(7, EndpointFunc(func(*Packet) {}))
+
+	sendOne := func() {
+		pkt := net.AllocPacket()
+		pkt.Kind = KindData
+		pkt.Flow = 7
+		pkt.Src = h1.ID()
+		pkt.Dst = h2.ID()
+		pkt.Size = DefaultMTU + DataHeaderBytes
+		pkt.ECT = true
+		h1.Send(pkt)
+		net.Run()
+	}
+	// Warm the packet pool, the event free list, and the egress queue's
+	// backing array.
+	for i := 0; i < 8; i++ {
+		sendOne()
+	}
+
+	if avg := testing.AllocsPerRun(1000, sendOne); avg != 0 {
+		t.Fatalf("one packet-hop allocates %v/op, want 0", avg)
+	}
+}
+
+// TestPacketPoolReuseAndDoubleReleaseGuard checks the pool actually recycles
+// and that a double release is caught instead of silently aliasing two
+// in-flight packets.
+func TestPacketPoolReuseAndDoubleReleaseGuard(t *testing.T) {
+	net := New(1)
+	p := net.AllocPacket()
+	p.Size = 99
+	net.ReleasePacket(p)
+	if got := net.AllocPacket(); got != p {
+		t.Fatal("pool did not recycle the released packet")
+	} else if got.Size != 0 {
+		t.Fatal("recycled packet not zeroed")
+	}
+	net.ReleasePacket(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double release")
+		}
+	}()
+	net.ReleasePacket(p)
+}

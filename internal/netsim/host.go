@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"github.com/accnet/acc/internal/red"
 	"github.com/accnet/acc/internal/simtime"
 )
 
@@ -62,14 +63,20 @@ func (h *Host) Register(f FlowID, e Endpoint) { h.endpoints[f] = e }
 // Unregister removes a flow binding.
 func (h *Host) Unregister(f FlowID) { delete(h.endpoints, f) }
 
-// Send enqueues a packet on the NIC egress queue for its priority.
+// Send enqueues a packet on the NIC egress queue for its priority. The
+// network owns the packet from this point on; a WRED drop at the NIC retires
+// it immediately.
 func (h *Host) Send(pkt *Packet) {
-	h.Port.Enqueue(pkt, h.net.Rng)
+	if h.Port.Enqueue(pkt, h.net.Rng) == red.Drop {
+		h.net.ReleasePacket(pkt)
+	}
 }
 
 // Receive implements Node: PFC frames act on the NIC transmitter; everything
 // else is dispatched to the flow's endpoint. Packets for unknown flows are
-// dropped silently (late packets after flow teardown).
+// dropped silently (late packets after flow teardown). Delivery is the
+// packet's terminal point: once the endpoint's Handle returns, the packet
+// goes back to the pool, so endpoints must copy fields they need later.
 func (h *Host) Receive(pkt *Packet, in *Port) {
 	switch pkt.Kind {
 	case KindPause:
@@ -77,15 +84,18 @@ func (h *Host) Receive(pkt *Packet, in *Port) {
 		for _, hook := range h.PauseHooks {
 			hook(pkt.PausePrio, true)
 		}
+		h.net.ReleasePacket(pkt)
 		return
 	case KindResume:
 		in.setPaused(pkt.PausePrio, false)
 		for _, hook := range h.PauseHooks {
 			hook(pkt.PausePrio, false)
 		}
+		h.net.ReleasePacket(pkt)
 		return
 	}
 	if e, ok := h.endpoints[pkt.Flow]; ok {
 		e.Handle(pkt)
 	}
+	h.net.ReleasePacket(pkt)
 }

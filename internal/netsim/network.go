@@ -22,6 +22,11 @@ type Network struct {
 
 	nodes    []Node
 	nextFlow FlowID
+
+	// pktFree is the Packet free list backing AllocPacket/ReleasePacket. It
+	// is per-Network, like the RNG: experiment runners execute independent
+	// Networks in parallel (exp.forEachParallel) and must never share pools.
+	pktFree []*Packet
 }
 
 // New creates an empty network seeded deterministically.

@@ -47,9 +47,12 @@ func (k Kind) String() string {
 // priorities of 802.1Qbb PFC.
 const NumPrio = 8
 
-// Packet is one unit on the wire. Packets are heap-allocated per send and
-// travel by pointer; switches annotate the in-flight packet with transient
-// per-hop state (ingress port index) that is only valid within one switch.
+// Packet is one unit on the wire. Packets come from the owning Network's
+// free list (AllocPacket) and travel by pointer; switches annotate the
+// in-flight packet with transient per-hop state (ingress port index) that is
+// only valid within one switch. Once a packet reaches its terminal point the
+// network returns it to the pool, so nodes and endpoints must copy any field
+// they need past the callback that handed them the packet.
 type Packet struct {
 	Kind Kind
 	Flow FlowID
@@ -75,6 +78,41 @@ type Packet struct {
 	// inPort is per-switch transient state: the ingress port index at the
 	// switch currently holding the packet, used for PFC buffer accounting.
 	inPort int
+
+	// pooled marks a packet currently resting in its Network's free list,
+	// guarding against double release (which would otherwise silently alias
+	// two in-flight packets).
+	pooled bool
+}
+
+// AllocPacket returns a zeroed packet from the network's free list (or the
+// heap when the list is empty). Transports fill in the fields and hand the
+// packet to Host.Send / Port.Enqueue; ownership then rests with the network,
+// which releases the packet back to the pool at its terminal point —
+// delivery, WRED drop, buffer-overflow drop, route blackhole, or link
+// blackhole. See DESIGN.md "Performance & memory model" for the ownership
+// rules.
+func (n *Network) AllocPacket() *Packet {
+	if last := len(n.pktFree) - 1; last >= 0 {
+		p := n.pktFree[last]
+		n.pktFree[last] = nil
+		n.pktFree = n.pktFree[:last]
+		*p = Packet{}
+		return p
+	}
+	return &Packet{}
+}
+
+// ReleasePacket returns a packet to the free list. Releasing the same packet
+// twice panics: it means two owners believed they held the packet, which
+// corrupts the simulation once the struct is reused. Packets allocated
+// outside the pool (tests build literals) are absorbed into it.
+func (n *Network) ReleasePacket(p *Packet) {
+	if p.pooled {
+		panic("netsim: packet released twice")
+	}
+	p.pooled = true
+	n.pktFree = append(n.pktFree, p)
 }
 
 // DataHeaderBytes is the protocol overhead added to each data packet's

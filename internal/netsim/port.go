@@ -26,7 +26,8 @@ type EgressQueue struct {
 	pkts    []*Packet // FIFO; head at index head
 	head    int
 	bytes   int
-	waiters []func()
+	waiters []func() // FIFO; head at index whead
+	whead   int
 	serving bool // a waiter is being served: it may inject past the queue
 
 	// Byte-time integral for exact average-queue-length telemetry: consumers
@@ -120,6 +121,12 @@ type Port struct {
 	rr      int // DWRR round-robin pointer
 	quantum int // base DWRR quantum in bytes (scaled by queue weight)
 
+	// Pre-bound callbacks for the two per-packet events (serialization done,
+	// propagation done), created once in newPort so the hot path schedules
+	// through eventq's recycled typed events with zero allocation.
+	txDoneFn func(any)
+	arriveFn func(any)
+
 	// Cumulative counters.
 	TxBytesTotal   uint64
 	RxBytesTotal   uint64
@@ -146,6 +153,8 @@ func newPort(net *Network, owner Node, index int, bw simtime.Rate, delay simtime
 		net:       net,
 		quantum:   2 * DefaultMTU,
 	}
+	p.txDoneFn = p.txDone
+	p.arriveFn = p.arrive
 	for prio, w := range weights {
 		if w <= 0 {
 			continue
@@ -209,10 +218,11 @@ func (p *Port) SetDown(down bool) {
 // independent — degrade the peer too for a symmetric brownout.
 func (p *Port) SetBandwidth(r simtime.Rate) { p.Bandwidth = r }
 
-// blackhole counts pkt as lost on the down link.
+// blackhole counts pkt as lost on the down link and retires it.
 func (p *Port) blackhole(pkt *Packet) {
 	p.BlackholedPackets++
 	p.BlackholedBytes += uint64(pkt.Size)
+	p.net.ReleasePacket(pkt)
 }
 
 // Utilization returns the fraction of capacity used over a window, given the
@@ -267,7 +277,7 @@ func (p *Port) CanInject(prio int) bool {
 	if q.InjectLimit > 0 && q.bytes >= q.InjectLimit {
 		return false
 	}
-	return q.serving || len(q.waiters) == 0
+	return q.serving || len(q.waiters) == q.whead
 }
 
 // WhenReady registers fn to run once the priority's queue has room and fn's
@@ -283,18 +293,21 @@ func (p *Port) WhenReady(prio int, fn func()) {
 // wakeWaiters serves parked senders in FIFO order while the queue has room.
 // Each waiter may inject one or more packets; a waiter that is still
 // blocked re-registers at the tail, which ends the loop because the queue
-// is full again.
+// is full again. The slice is drained via a head index and reset to length
+// zero once empty, so the steady-state park/wake cycle reuses one backing
+// array instead of reallocating it.
 func (p *Port) wakeWaiters(q *EgressQueue) {
-	for len(q.waiters) > 0 && (q.InjectLimit <= 0 || q.bytes < q.InjectLimit) {
-		w := q.waiters[0]
-		q.waiters[0] = nil
-		q.waiters = q.waiters[1:]
+	for q.whead < len(q.waiters) && (q.InjectLimit <= 0 || q.bytes < q.InjectLimit) {
+		w := q.waiters[q.whead]
+		q.waiters[q.whead] = nil
+		q.whead++
 		q.serving = true
 		w()
 		q.serving = false
 	}
-	if len(q.waiters) == 0 {
-		q.waiters = nil // release backing array
+	if q.whead == len(q.waiters) {
+		q.waiters = q.waiters[:0]
+		q.whead = 0
 	}
 }
 
@@ -362,42 +375,55 @@ func (p *Port) trySend() {
 	p.busy = true
 	p.wakeWaiters(q)
 	txd := simtime.TxTime(pkt.Size, p.Bandwidth)
-	p.net.Q.After(txd, func() {
-		p.busy = false
-		if rel, ok := p.Owner.(bufferReleaser); ok {
-			rel.releaseBuffer(pkt)
-		}
-		if p.down {
-			// The link died mid-serialization: the partial frame never
-			// reaches the peer (see SetDown).
-			p.blackhole(pkt)
-			return
-		}
-		p.TxBytesTotal += uint64(pkt.Size)
-		q.TxBytes += uint64(pkt.Size)
-		q.TxPackets++
-		if pkt.CE {
-			q.TxMarkedBytes += uint64(pkt.Size)
-			q.TxMarkedPkts++
-		}
-		p.deliver(pkt)
-		p.trySend()
-	})
+	p.net.Q.CallAfter(txd, p.txDoneFn, pkt)
+}
+
+// txDone runs when a packet finishes serializing onto the link: it frees the
+// transmitter, settles shared-buffer accounting, records telemetry, and
+// hands the packet to propagation.
+func (p *Port) txDone(arg any) {
+	pkt := arg.(*Packet)
+	p.busy = false
+	if rel, ok := p.Owner.(bufferReleaser); ok {
+		rel.releaseBuffer(pkt)
+	}
+	if p.down {
+		// The link died mid-serialization: the partial frame never
+		// reaches the peer (see SetDown).
+		p.blackhole(pkt)
+		return
+	}
+	q := p.Queue(pkt.Prio)
+	p.TxBytesTotal += uint64(pkt.Size)
+	q.TxBytes += uint64(pkt.Size)
+	q.TxPackets++
+	if pkt.CE {
+		q.TxMarkedBytes += uint64(pkt.Size)
+		q.TxMarkedPkts++
+	}
+	p.deliver(pkt)
+	p.trySend()
 }
 
 // deliver propagates a serialized packet across the link to the peer node.
 // A packet whose propagation ends while the link is down is blackholed
 // (see SetDown).
 func (p *Port) deliver(pkt *Packet) {
+	p.net.Q.CallAfter(p.Delay, p.arriveFn, pkt)
+}
+
+// arrive runs when a packet finishes propagating: it delivers to the peer
+// node, unless the link died in flight. Peer is immutable after Connect, so
+// reading it at arrival time matches the value at transmission time.
+func (p *Port) arrive(arg any) {
+	pkt := arg.(*Packet)
+	if p.down {
+		p.blackhole(pkt)
+		return
+	}
 	peer := p.Peer
-	p.net.Q.After(p.Delay, func() {
-		if p.down {
-			p.blackhole(pkt)
-			return
-		}
-		peer.RxBytesTotal += uint64(pkt.Size)
-		peer.Owner.Receive(pkt, peer)
-	})
+	peer.RxBytesTotal += uint64(pkt.Size)
+	peer.Owner.Receive(pkt, peer)
 }
 
 // SendCtrl transmits a control frame (PFC pause/resume) to the peer,
@@ -406,6 +432,7 @@ func (p *Port) deliver(pkt *Packet) {
 // folded into the propagation delay.
 func (p *Port) SendCtrl(pkt *Packet) {
 	if p.Peer == nil {
+		p.net.ReleasePacket(pkt)
 		return
 	}
 	p.PauseTxEvents++

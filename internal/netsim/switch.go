@@ -186,9 +186,11 @@ func (s *Switch) Receive(pkt *Packet, in *Port) {
 	switch pkt.Kind {
 	case KindPause:
 		in.setPaused(pkt.PausePrio, true)
+		s.net.ReleasePacket(pkt)
 		return
 	case KindResume:
 		in.setPaused(pkt.PausePrio, false)
+		s.net.ReleasePacket(pkt)
 		return
 	}
 
@@ -201,12 +203,14 @@ func (s *Switch) Receive(pkt *Packet, in *Port) {
 		// Every candidate link is down: blackhole the packet.
 		s.DropsTotal++
 		s.RouteBlackholes++
+		s.net.ReleasePacket(pkt)
 		return
 	}
 
 	// Admit to the shared buffer.
 	if s.totalUsed+pkt.Size > s.cfg.BufferBytes {
 		s.DropsTotal++
+		s.net.ReleasePacket(pkt)
 		return
 	}
 	pkt.inPort = in.Index
@@ -215,16 +219,18 @@ func (s *Switch) Receive(pkt *Packet, in *Port) {
 
 	wasCE := pkt.CE
 	v := out.Enqueue(pkt, s.net.Rng)
+	prio := pkt.Prio // normalized by Enqueue; pkt is invalid past a drop
 	if v == red.Drop {
 		// WRED dropped a non-ECT packet: release accounting immediately.
 		s.releaseBuffer(pkt)
 		s.DropsTotal++
+		s.net.ReleasePacket(pkt)
 	} else if pkt.CE && !wasCE {
 		s.MarksTotal++
 	}
 
 	if s.cfg.PFC.Enabled {
-		s.checkPause(in, pkt.Prio)
+		s.checkPause(in, prio)
 	}
 }
 
@@ -238,7 +244,9 @@ func (s *Switch) checkPause(in *Port, prio int) {
 	xoff := int(s.cfg.PFC.Alpha * float64(free))
 	if s.ingUsed[in.Index][prio] > xoff {
 		s.pauseSent[in.Index][prio] = true
-		in.SendCtrl(&Packet{Kind: KindPause, PausePrio: prio, Size: CtrlPacketBytes, Src: s.id})
+		pause := s.net.AllocPacket()
+		pause.Kind, pause.PausePrio, pause.Size, pause.Src = KindPause, prio, CtrlPacketBytes, s.id
+		in.SendCtrl(pause)
 	}
 }
 
@@ -252,7 +260,9 @@ func (s *Switch) checkResume(portIdx, prio int) {
 	xoff := int(s.cfg.PFC.Alpha * float64(free))
 	if s.ingUsed[portIdx][prio] <= max(0, xoff-s.cfg.PFC.XonGap) {
 		s.pauseSent[portIdx][prio] = false
-		s.Ports[portIdx].SendCtrl(&Packet{Kind: KindResume, PausePrio: prio, Size: CtrlPacketBytes, Src: s.id})
+		resume := s.net.AllocPacket()
+		resume.Kind, resume.PausePrio, resume.Size, resume.Src = KindResume, prio, CtrlPacketBytes, s.id
+		s.Ports[portIdx].SendCtrl(resume)
 	}
 }
 

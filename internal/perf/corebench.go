@@ -1,0 +1,127 @@
+// Package perf drives the discrete-event engine at line rate on a raw
+// leaf-spine fabric, with no experiment logic or ACC control loop on top.
+// It is the shared core behind BenchmarkSimulatorCore and cmd/accbench: the
+// numbers it produces (events/sec, ns/event, allocations/event) isolate the
+// engine hot path — eventq scheduling, port serialization/propagation,
+// switch forwarding, and transport pacing — from everything an experiment
+// adds, so engine regressions are visible independently of any figure.
+package perf
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/accnet/acc/internal/dcqcn"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/topo"
+)
+
+// CoreOptions sizes the raw-fabric benchmark.
+type CoreOptions struct {
+	Seed         int64
+	Leaves       int
+	HostsPerLeaf int
+	Spines       int
+
+	// Warmup is virtual time run before measuring, letting flows ramp, the
+	// packet/event pools fill, and queues reach steady state.
+	Warmup simtime.Duration
+	// Window is the measured span of virtual time.
+	Window simtime.Duration
+}
+
+// DefaultCoreOptions returns the standard configuration: a 16-host
+// leaf-spine fabric with every host driving a cross-leaf DCQCN flow at line
+// rate, warmed up for 200µs and measured over 1ms of virtual time.
+func DefaultCoreOptions() CoreOptions {
+	return CoreOptions{
+		Seed:         1,
+		Leaves:       4,
+		HostsPerLeaf: 4,
+		Spines:       2,
+		Warmup:       200 * simtime.Microsecond,
+		Window:       simtime.Millisecond,
+	}
+}
+
+// CoreResult is one measurement of the engine hot path.
+type CoreResult struct {
+	Events       uint64  `json:"events"`        // events executed in the window
+	VirtualUsec  float64 `json:"virtual_usec"`  // measured virtual time
+	WallSeconds  float64 `json:"wall_seconds"`  // wall time for the window
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	// Allocation pressure per event, from runtime.MemStats deltas around the
+	// measured window. In steady state the pooled hot path keeps this near
+	// zero; a regression shows up here before it shows up in wall time.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// Core is a warmed-up raw fabric ready to advance in measured slices.
+type Core struct {
+	Net *netsim.Network
+	Fab *topo.Fabric
+}
+
+// NewCore builds the fabric and starts one long-lived line-rate DCQCN flow
+// per host toward the same-indexed host on the next leaf, so every flow
+// crosses the spine layer and every link stays saturated. Flow sizes are
+// effectively infinite: the benchmark measures the steady per-packet path,
+// not flow churn.
+func NewCore(o CoreOptions) *Core {
+	net := netsim.New(o.Seed)
+	cfg := topo.DefaultConfig()
+	fab := topo.LeafSpine(net, o.Leaves, o.HostsPerLeaf, o.Spines, cfg)
+	params := dcqcn.DefaultParams(cfg.HostBW)
+	n := len(fab.Hosts)
+	per := o.HostsPerLeaf
+	for i, src := range fab.Hosts {
+		dst := fab.Hosts[(i+per)%n] // same index, next leaf
+		dcqcn.Start(net, src, dst, 1<<40, params, nil)
+	}
+	return &Core{Net: net, Fab: fab}
+}
+
+// Warmup advances virtual time so the fabric reaches steady state.
+func (c *Core) Warmup(d simtime.Duration) {
+	c.Net.RunFor(d)
+}
+
+// Advance runs one measured slice of virtual time and returns the number of
+// events executed in it.
+func (c *Core) Advance(d simtime.Duration) uint64 {
+	before := c.Net.Q.Processed()
+	c.Net.RunFor(d)
+	return c.Net.Q.Processed() - before
+}
+
+// RunCore executes the full benchmark — build, warm up, measure — and
+// returns the engine metrics. It is what cmd/accbench snapshots into
+// BENCH_core.json.
+func RunCore(o CoreOptions) CoreResult {
+	c := NewCore(o)
+	c.Warmup(o.Warmup)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	events := c.Advance(o.Window)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	r := CoreResult{
+		Events:      events,
+		VirtualUsec: o.Window.Seconds() * 1e6,
+		WallSeconds: wall,
+	}
+	if events > 0 {
+		r.EventsPerSec = float64(events) / wall
+		r.NsPerEvent = wall * 1e9 / float64(events)
+		r.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(events)
+		r.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(events)
+	}
+	return r
+}

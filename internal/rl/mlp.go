@@ -18,6 +18,13 @@ import (
 
 // MLP is a fully connected network with ReLU hidden activations and a
 // linear output layer (Q-values are unbounded).
+//
+// An MLP owns per-instance scratch buffers so Forward and TrainBatch
+// allocate nothing in steady state: the slice returned by Forward is valid
+// only until the next Forward/TrainBatch call on the same instance, and an
+// MLP must not be used from multiple goroutines concurrently (each parallel
+// experiment run builds its own agents; shared pre-trained models are only
+// read via CopyFrom).
 type MLP struct {
 	Sizes []int         // layer widths, input first
 	W     [][][]float64 // W[l][out][in]
@@ -27,6 +34,16 @@ type MLP struct {
 	mW, vW [][][]float64
 	mB, vB [][]float64
 	adamT  int
+
+	// Scratch buffers (not serialized; rebuilt alongside the optimizer
+	// state). fwd holds per-layer activations for Forward; acts/delta back
+	// the forward trace and backprop deltas; gradW/gradB accumulate batch
+	// gradients, zeroed at the start of each gradients call.
+	fwd   [][]float64
+	acts  [][]float64 // acts[0] aliases the caller's input per trace
+	delta [][]float64
+	gradW [][][]float64
+	gradB [][]float64
 }
 
 // NewMLP builds a network with He-initialized weights.
@@ -57,6 +74,18 @@ func (m *MLP) initAdam() {
 	m.mW, m.vW = zerosLike3(m.W), zerosLike3(m.W)
 	m.mB, m.vB = zerosLike2(m.B), zerosLike2(m.B)
 	m.adamT = 0
+	m.initScratch()
+}
+
+func (m *MLP) initScratch() {
+	m.fwd = zerosLike2(m.B)
+	m.acts = make([][]float64, len(m.W)+1)
+	for l := range m.W {
+		m.acts[l+1] = make([]float64, len(m.B[l]))
+	}
+	m.delta = zerosLike2(m.B)
+	m.gradW = zerosLike3(m.W)
+	m.gradB = zerosLike2(m.B)
 }
 
 func zerosLike3(w [][][]float64) [][][]float64 {
@@ -99,17 +128,20 @@ func (m *MLP) ForwardFlops() int {
 	return n
 }
 
-// Forward computes the network output for input x.
+// Forward computes the network output for input x into the instance's
+// scratch buffers. The returned slice is owned by the MLP and only valid
+// until the next Forward/TrainBatch call; callers that need the values
+// longer must copy them.
 func (m *MLP) Forward(x []float64) []float64 {
 	a := x
 	for l := range m.W {
-		a = m.layerForward(l, a, l < len(m.W)-1)
+		m.layerForward(l, a, m.fwd[l], l < len(m.W)-1)
+		a = m.fwd[l]
 	}
 	return a
 }
 
-func (m *MLP) layerForward(l int, in []float64, relu bool) []float64 {
-	out := make([]float64, len(m.W[l]))
+func (m *MLP) layerForward(l int, in, out []float64, relu bool) {
 	for o, row := range m.W[l] {
 		s := m.B[l][o]
 		for i, w := range row {
@@ -120,18 +152,17 @@ func (m *MLP) layerForward(l int, in []float64, relu bool) []float64 {
 		}
 		out[o] = s
 	}
-	return out
 }
 
 // forwardTrace runs a forward pass keeping activations per layer for
-// backprop. acts[0] is the input; acts[len(W)] the output.
+// backprop in the acts scratch. acts[0] aliases the input; acts[len(W)] is
+// the output.
 func (m *MLP) forwardTrace(x []float64) [][]float64 {
-	acts := make([][]float64, len(m.W)+1)
-	acts[0] = x
+	m.acts[0] = x
 	for l := range m.W {
-		acts[l+1] = m.layerForward(l, acts[l], l < len(m.W)-1)
+		m.layerForward(l, m.acts[l], m.acts[l+1], l < len(m.W)-1)
 	}
-	return acts
+	return m.acts
 }
 
 // Sample is one supervised regression target on a single output unit —

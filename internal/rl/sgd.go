@@ -23,10 +23,16 @@ func (m *MLP) TrainBatchSGD(batch []Sample, lr, momentum float64) float64 {
 }
 
 // gradients computes mean-squared-error gradients over a batch, shared by
-// the Adam and SGD optimizers.
+// the Adam and SGD optimizers. The returned slices are the instance's
+// gradW/gradB scratch, zeroed here and valid until the next gradients call.
 func (m *MLP) gradients(batch []Sample) ([][][]float64, [][]float64, float64) {
-	gW := zerosLike3(m.W)
-	gB := zerosLike2(m.B)
+	gW, gB := m.gradW, m.gradB
+	for l := range gW {
+		for o := range gW[l] {
+			clear(gW[l][o])
+		}
+		clear(gB[l])
+	}
 	var loss float64
 	inv := 1 / float64(len(batch))
 
@@ -36,14 +42,20 @@ func (m *MLP) gradients(batch []Sample) ([][][]float64, [][]float64, float64) {
 		err := out[s.Action] - s.Target
 		loss += err * err
 
-		delta := make([]float64, len(out))
+		// delta[l] backs layer l's output deltas. The backprop below reads
+		// the layer's input activations from acts[l], which the delta write
+		// for layer l-1 would clobber if they shared storage — they don't:
+		// delta is its own scratch.
+		delta := m.delta[len(m.W)-1]
+		clear(delta)
 		delta[s.Action] = 2 * err * inv
 
 		for l := len(m.W) - 1; l >= 0; l-- {
 			in := acts[l]
 			var prev []float64
 			if l > 0 {
-				prev = make([]float64, len(in))
+				prev = m.delta[l-1]
+				clear(prev)
 			}
 			for o, row := range m.W[l] {
 				d := delta[o]

@@ -93,6 +93,12 @@ type Flow struct {
 
 	onDone func(*Flow)
 	done   bool
+
+	// Pre-bound callbacks, created once in Start so the per-ACK / per-packet
+	// paths (NIC waiter registration, RTO re-arming) don't allocate a new
+	// method-value closure every time.
+	trySendFn func()
+	onRTOFn   func()
 }
 
 // Done reports whether the transfer completed.
@@ -141,6 +147,8 @@ func Start(net *netsim.Network, src, dst *netsim.Host, size int64, p Params, onD
 	if p.MaxCwndPkts > 0 {
 		f.ssthresh = float64(p.MaxCwndPkts * p.MTU)
 	}
+	f.trySendFn = f.trySend
+	f.onRTOFn = f.onRTO
 	src.Register(f.ID, netsim.EndpointFunc(f.senderHandle))
 	dst.Register(f.ID, netsim.EndpointFunc(f.receiverHandle))
 	f.trySend()
@@ -161,7 +169,7 @@ func (f *Flow) trySend() {
 	}
 	for f.sndNext < f.Size && f.sndNext < f.sndUna+int64(f.cwnd) {
 		if !f.Src.Port.CanInject(f.P.Prio) {
-			f.Src.Port.WhenReady(f.P.Prio, f.trySend)
+			f.Src.Port.WhenReady(f.P.Prio, f.trySendFn)
 			return
 		}
 		payload := f.P.MTU
@@ -175,19 +183,18 @@ func (f *Flow) trySend() {
 
 // emit sends one segment.
 func (f *Flow) emit(seq int64, payload int, retx bool) {
-	pkt := &netsim.Packet{
-		Kind:      netsim.KindData,
-		Flow:      f.ID,
-		Src:       f.Src.ID(),
-		Dst:       f.Dst.ID(),
-		Prio:      f.P.Prio,
-		Size:      payload + netsim.DataHeaderBytes,
-		Seq:       seq,
-		FlowBytes: f.Size,
-		ECT:       f.P.ECN,
-		Retx:      retx,
-		Last:      seq+int64(payload) >= f.Size,
-	}
+	pkt := f.net.AllocPacket()
+	pkt.Kind = netsim.KindData
+	pkt.Flow = f.ID
+	pkt.Src = f.Src.ID()
+	pkt.Dst = f.Dst.ID()
+	pkt.Prio = f.P.Prio
+	pkt.Size = payload + netsim.DataHeaderBytes
+	pkt.Seq = seq
+	pkt.FlowBytes = f.Size
+	pkt.ECT = f.P.ECN
+	pkt.Retx = retx
+	pkt.Last = seq+int64(payload) >= f.Size
 	if retx {
 		f.Retransmits++
 		delete(f.sendTimes, seq) // Karn: no RTT sample from retransmits
@@ -218,19 +225,18 @@ func (f *Flow) receiverHandle(pkt *netsim.Packet) {
 	} else if pkt.Seq > f.rcvNext {
 		f.ooo[pkt.Seq] = payload
 	}
-	ack := &netsim.Packet{
-		Kind: netsim.KindAck,
-		Flow: f.ID,
-		Src:  f.Dst.ID(),
-		Dst:  f.Src.ID(),
-		Prio: f.P.Prio,
-		Size: netsim.CtrlPacketBytes,
-		Seq:  f.rcvNext,
-		ECE:  pkt.CE,
-		// ACKs are ECN-capable so AQM marks rather than drops them; the
-		// sender reads the explicit ECE echo, never the ACK's own CE bit.
-		ECT: true,
-	}
+	ack := f.net.AllocPacket()
+	ack.Kind = netsim.KindAck
+	ack.Flow = f.ID
+	ack.Src = f.Dst.ID()
+	ack.Dst = f.Src.ID()
+	ack.Prio = f.P.Prio
+	ack.Size = netsim.CtrlPacketBytes
+	ack.Seq = f.rcvNext
+	ack.ECE = pkt.CE
+	// ACKs are ECN-capable so AQM marks rather than drops them; the
+	// sender reads the explicit ECE echo, never the ACK's own CE bit.
+	ack.ECT = true
 	// AckSeq piggybacks the payload length this ACK acknowledges receipt of,
 	// so the sender can attribute marked bytes for DCTCP's fraction.
 	ack.FlowBytes = int64(payload)
@@ -387,16 +393,17 @@ func (f *Flow) rto() simtime.Duration {
 	return r
 }
 
-// armRTO (re)starts the retransmission timer while data is outstanding.
+// armRTO (re)starts the retransmission timer while data is outstanding. The
+// timer's Event is reused across re-arms (every ACK lands here), so the
+// steady-state path allocates nothing.
 func (f *Flow) armRTO() {
-	if f.rtoEv != nil {
-		f.rtoEv.Cancel()
-		f.rtoEv = nil
-	}
 	if f.sndUna >= f.Size || f.done {
+		if f.rtoEv != nil {
+			f.rtoEv.Cancel()
+		}
 		return
 	}
-	f.rtoEv = f.net.Q.After(f.rto(), f.onRTO)
+	f.rtoEv = f.net.Q.ResetAfter(f.rtoEv, f.rto(), f.onRTOFn)
 }
 
 // onRTO handles a retransmission timeout: collapse to one segment and resend
