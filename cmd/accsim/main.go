@@ -15,15 +15,24 @@
 //	accsim -exp robust-linkfail -seed 1
 //	accsim -exp robust-flap -fault-links 3 -fault-mtbf 2ms -fault-mttr 500us
 //	accsim -exp robust-telemetry -fault-stale 8 -fault-drop 0.5
+//
+// Observability (internal/obs) is off by default and enabled by flag:
+//
+//	accsim -exp fig8 -obs-dir out          # write <exp>.manifest.json,
+//	                                       # <exp>.trace.jsonl, <exp>.metrics.prom
+//	accsim -exp fig12 -obs-addr :9090      # live /metrics, /manifest,
+//	                                       # /trace?last=N, /debug/pprof while running
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"github.com/accnet/acc/internal/exp"
+	"github.com/accnet/acc/internal/obs"
 	"github.com/accnet/acc/internal/simtime"
 )
 
@@ -42,6 +51,10 @@ func main() {
 		faultStale   = flag.Int("fault-stale", 0, "robust-telemetry: observation staleness in monitoring slots")
 		faultDrop    = flag.Float64("fault-drop", 0, "robust-telemetry: per-window telemetry loss probability [0,1)")
 		faultDegrade = flag.Float64("fault-degrade", 0, "robust-linkfail: brownout a second uplink to this fraction of nominal bandwidth (0 = off)")
+
+		obsAddr = flag.String("obs-addr", "", "serve live introspection (/metrics, /manifest, /trace, /debug/pprof) on this address")
+		obsDir  = flag.String("obs-dir", "", "write per-experiment manifest/trace/metrics files into this directory")
+		obsRing = flag.Int("obs-ring", 0, "trace ring capacity in records (0 = default 65536)")
 	)
 	flag.Parse()
 
@@ -67,6 +80,18 @@ func main() {
 			Degrade:  *faultDegrade,
 		},
 	}
+	obsOn := *obsAddr != "" || *obsDir != ""
+	var server *obs.Server
+	if *obsAddr != "" {
+		server = obs.NewServer(nil)
+		go func() {
+			if err := http.ListenAndServe(*obsAddr, server.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "accsim: obs server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "accsim: introspection on http://%s (/metrics /manifest /trace /debug/pprof)\n", *obsAddr)
+	}
+
 	ids := []string{*expID}
 	if *expID == "all" {
 		ids = ids[:0]
@@ -76,7 +101,16 @@ func main() {
 	}
 	for _, id := range ids {
 		t0 := time.Now()
-		tables, err := exp.Run(id, opts)
+		runOpts := opts
+		var run *obs.Run
+		if obsOn {
+			run = obs.NewRun(*obsRing)
+			runOpts.Obs = run
+			if server != nil {
+				server.SetRun(run)
+			}
+		}
+		tables, err := exp.Run(id, runOpts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "accsim:", err)
 			os.Exit(1)
@@ -87,6 +121,18 @@ func main() {
 			} else {
 				fmt.Println(t)
 			}
+		}
+		if *obsDir != "" {
+			// WriteFiles re-parses everything it writes, so a zero exit
+			// means the artifacts are loadable — CI leans on that.
+			manifest, trace, metrics, err := run.WriteFiles(*obsDir, id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "accsim: obs artifacts:", err)
+				os.Exit(1)
+			}
+			m := run.Manifest()
+			fmt.Fprintf(os.Stderr, "accsim: obs artifacts for %s: %s %s %s (%d trace records, %d events)\n",
+				id, manifest, trace, metrics, m.TraceEmitted, m.EventsProcessed)
 		}
 		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
 	}

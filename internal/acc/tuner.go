@@ -410,6 +410,9 @@ func (t *Tuner) tickQueue(qi int, qs *queueState) {
 		action = t.Agent.ActGreedy(state)
 	}
 	t.Inferences++
+	// One agent transition per interval: the state that was acted on, the
+	// action chosen, and the reward measured for the *previous* action.
+	t.Net.Tracer.AgentStep(t.Net.Now(), t.Switch.ID(), qi, qs.q.Prio, action, reward)
 	t.apply(qs, action)
 	qs.prevState = state
 	qs.prevAction = action
@@ -417,8 +420,14 @@ func (t *Tuner) tickQueue(qi int, qs *queueState) {
 
 // apply maps the action index into the ECN template and programs the queue.
 func (t *Tuner) apply(qs *queueState, action int) {
+	prev := qs.q.RED
 	qs.action = action
 	qs.q.RED = t.Cfg.Template[action]
+	if c := qs.q.RED; c != prev {
+		// Only actual template changes hit the trace: the configurator
+		// writing the same registers back is not an observable event.
+		t.Net.Tracer.WREDUpdate(t.Net.Now(), t.Switch.ID(), qs.port.Index, qs.q.Prio, action, c.Kmin, c.Kmax, c.Pmax)
+	}
 	if t.Cfg.RecordTrace {
 		qs.KminTrace.Add(t.Net.Now(), float64(qs.q.RED.Kmin))
 	}

@@ -208,6 +208,7 @@ func (f *Flow) senderHandle(pkt *netsim.Packet) {
 		return
 	}
 	f.CNPs++
+	f.net.Tracer.CNP(f.net.Now(), f.Src.ID(), uint64(f.ID))
 	f.cutRate()
 }
 
@@ -215,6 +216,7 @@ func (f *Flow) senderHandle(pkt *netsim.Packet) {
 // machinery.
 func (f *Flow) cutRate() {
 	f.RateCuts++
+	before := f.rc
 	if f.increased || f.P.ClampTargetRate {
 		f.rt = f.rc
 		f.increased = false
@@ -224,6 +226,7 @@ func (f *Flow) cutRate() {
 	if f.rc < f.P.MinRate {
 		f.rc = f.P.MinRate
 	}
+	f.net.Tracer.RateCut(f.net.Now(), f.Src.ID(), uint64(f.ID), float64(before), float64(f.rc), f.alpha)
 	f.tc, f.bc = 0, 0
 	f.incBytes = 0
 	f.armAlphaTimer()

@@ -26,7 +26,7 @@ func init() {
 // ablationScenario trains an agent online-from-scratch under a WebSearch
 // load on the testbed Clos and reports the resulting FCT summary.
 func ablationScenario(o Options, p Policy, dur simtime.Duration) stats.FCTSummary {
-	net := netsim.New(o.Seed)
+	net := newNet(o, o.Seed)
 	fab := topo.TestbedClos(net, topo.DefaultConfig())
 	stop := deploy(net, fab, p, o)
 	var col stats.FCTCollector
@@ -105,7 +105,7 @@ func runAblationBusyIdle(o Options) []*Table {
 	}
 	dur := o.dur(8 * simtime.Millisecond)
 	run := func(gate bool) (uint64, uint64, stats.FCTSummary) {
-		net := netsim.New(o.Seed)
+		net := newNet(o, o.Seed)
 		fab := topo.TestbedClos(net, topo.DefaultConfig())
 		scfg := acc.DefaultSystemConfig()
 		scfg.Tuner.BusyIdle = gate
@@ -172,7 +172,7 @@ func runAblationHillclimb(o Options) []*Table {
 	accS := ablationScenario(o, accPolicy(), dur)
 
 	// Hill climber runs on the same scenario.
-	net := netsim.New(o.Seed)
+	net := newNet(o, o.Seed)
 	fab := topo.TestbedClos(net, topo.DefaultConfig())
 	var climbers []*acc.HillClimber
 	for _, sw := range fab.Switches() {
@@ -212,7 +212,7 @@ func runStressFailure(o Options) []*Table {
 	dur := o.dur(9 * simtime.Millisecond)
 	var base stats.FCTSummary
 	for _, p := range []Policy{accPolicy(), secn1()} {
-		net := netsim.New(o.Seed)
+		net := newNet(o, o.Seed)
 		fab := topo.LeafSpine(net, 4, 6, 2, topo.DefaultConfig())
 		stop := deploy(net, fab, p, o)
 		var col stats.FCTCollector

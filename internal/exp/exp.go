@@ -21,6 +21,7 @@ import (
 	"github.com/accnet/acc/internal/acc"
 	"github.com/accnet/acc/internal/dcqcn"
 	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/obs"
 	"github.com/accnet/acc/internal/red"
 	"github.com/accnet/acc/internal/rl"
 	"github.com/accnet/acc/internal/simtime"
@@ -43,6 +44,12 @@ type Options struct {
 	// Faults parameterizes the robust-* experiments; zero fields fall back
 	// to per-experiment defaults.
 	Faults FaultOptions
+	// Obs, when non-nil, turns on observability for the run: every Network
+	// an experiment creates gets the run's Tracer attached and registers
+	// its engine totals, and exp.Run stamps the per-run manifest
+	// (experiment id, seed, scale, wall time, event/packet totals). Nil —
+	// the default — keeps every hook on the zero-overhead nil-tracer path.
+	Obs *obs.Run
 }
 
 // FaultOptions surfaces the fault-injection plan knobs on the command line
@@ -155,13 +162,65 @@ func register(id, desc string, r Runner) {
 	}{desc, r}
 }
 
-// Run executes the experiment with the given id.
+// Run executes the experiment with the given id. With Options.Obs set,
+// the run's manifest is stamped around the runner: Begin before the first
+// network exists, Finish once the last table is produced (when all the
+// run's engines are idle again).
 func Run(id string, o Options) ([]*Table, error) {
 	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown experiment %q (use List)", id)
 	}
-	return e.Run(o), nil
+	o.Obs.Begin(id, o.Seed, o.Scale, obsConfig(o))
+	tables := e.Run(o)
+	o.Obs.Finish()
+	return tables, nil
+}
+
+// obsConfig flattens the option knobs that shaped a run into the manifest's
+// free-form config map.
+func obsConfig(o Options) map[string]string {
+	cfg := map[string]string{}
+	if o.OfflineEpisodes != 0 {
+		cfg["offline_episodes"] = fmt.Sprint(o.OfflineEpisodes)
+	}
+	f := o.Faults
+	if f.MTBF != 0 {
+		cfg["fault_mtbf"] = f.MTBF.String()
+	}
+	if f.MTTR != 0 {
+		cfg["fault_mttr"] = f.MTTR.String()
+	}
+	if f.Links != 0 {
+		cfg["fault_links"] = fmt.Sprint(f.Links)
+	}
+	if f.Stale != 0 {
+		cfg["fault_stale"] = fmt.Sprint(f.Stale)
+	}
+	if f.DropProb != 0 {
+		cfg["fault_drop"] = fmt.Sprint(f.DropProb)
+	}
+	if f.Degrade != 0 {
+		cfg["fault_degrade"] = fmt.Sprint(f.Degrade)
+	}
+	if len(cfg) == 0 {
+		return nil
+	}
+	return cfg
+}
+
+// newNet creates one simulation Network wired to the run's observability:
+// the shared Tracer is attached (nil stays nil — zero overhead) and the
+// engine's event/packet totals are registered for the manifest. Runners
+// use this instead of netsim.New so one flag lights up tracing across
+// every experiment, including ones that build many Networks in parallel.
+func newNet(o Options, seed int64) *netsim.Network {
+	n := netsim.New(seed)
+	if o.Obs != nil {
+		n.Tracer = o.Obs.Tracer
+		o.Obs.RegisterEngine(n.Q.Processed, n.PacketsAlloced)
+	}
+	return n
 }
 
 // List returns the registered experiment ids and descriptions, sorted.

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"github.com/accnet/acc/internal/acc"
-	"github.com/accnet/acc/internal/netsim"
 	"github.com/accnet/acc/internal/simtime"
 	"github.com/accnet/acc/internal/stats"
 	"github.com/accnet/acc/internal/topo"
@@ -57,7 +56,7 @@ func runHybrid(o Options) []*Table {
 	}
 	dur := o.dur(8 * simtime.Millisecond)
 	run := func(kind string) stats.FCTSummary {
-		net := netsim.New(o.Seed)
+		net := newNet(o, o.Seed)
 		fab := topo.LeafSpine(net, 4, 8, 2, topo.DefaultConfig())
 		var stop func()
 		switch kind {

@@ -37,7 +37,7 @@ type fctRow struct {
 // runLoadScenario drives a Poisson workload over the sim fabric under a
 // policy and returns size-bucketed FCT summaries.
 func runLoadScenario(o Options, p Policy, sizes workload.CDF, load float64, dur simtime.Duration) fctRow {
-	net := netsim.New(o.Seed)
+	net := newNet(o, o.Seed)
 	fab := simFabric(net, o)
 	stop := deploy(net, fab, p, o)
 	var col stats.FCTCollector
@@ -156,7 +156,7 @@ func runFig14(o Options) []*Table {
 	dur := o.dur(8 * simtime.Millisecond)
 	var baseAvg, baseP99 float64
 	for _, p := range policies {
-		net := netsim.New(o.Seed)
+		net := newNet(o, o.Seed)
 		var fab *topo.Fabric
 		if o.Scale >= 2 {
 			fab = topo.LeafSpine(net, 4, 24, 2, topo.DefaultConfig()) // paper's 96 hosts

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"github.com/accnet/acc/internal/acc"
-	"github.com/accnet/acc/internal/netsim"
 	"github.com/accnet/acc/internal/rl"
 	"github.com/accnet/acc/internal/simtime"
 	"github.com/accnet/acc/internal/stats"
@@ -22,7 +21,7 @@ func init() {
 // ACC applies around a burst arrival, showing the lower-threshold reaction
 // to a growing queue and the raise once the queue clears.
 func runFig15(o Options) []*Table {
-	net := netsim.New(o.Seed)
+	net := newNet(o, o.Seed)
 	fab := topo.Star(net, 9, topo.DefaultConfig())
 	recv := fab.Hosts[8]
 	sw := fab.Leaves[0]
@@ -112,7 +111,7 @@ func runFig16(o Options) []*Table {
 	// avg FCT per policy per segment.
 	avgs := make([][]float64, len(policies))
 	for pi, p := range policies {
-		net := netsim.New(o.Seed)
+		net := newNet(o, o.Seed)
 		fab := topo.TestbedClos(net, topo.DefaultConfig())
 		stop := deploy(net, fab, p, o)
 		avgs[pi] = make([]float64, len(segments))
@@ -175,7 +174,7 @@ func runFig17(o Options) []*Table {
 		{"Design-2 (step, paper)", acc.StepReward},
 		{"Design-1 (linear)", acc.LinearReward},
 	} {
-		net := netsim.New(o.Seed)
+		net := newNet(o, o.Seed)
 		fab := topo.Star(net, 9, topo.DefaultConfig())
 		recv := fab.Hosts[8]
 		start := rdmaStarter(net, 25*simtime.Gbps, nil)

@@ -56,7 +56,7 @@ func runFig1(o Options) []*Table {
 		}
 		bestK, bestScore := 0, -1.0
 		for _, k := range ks {
-			net := netsim.New(o.Seed)
+			net := newNet(o, o.Seed)
 			fab := topo.Star(net, c.senders+1, topo.DefaultConfig())
 			sw := fab.Leaves[0]
 			sw.SetRED(red.Config{Kmin: k, Kmax: k, Pmax: 1})
@@ -105,7 +105,7 @@ func runFig2(o Options) []*Table {
 	for _, sc := range scenarios {
 		avgs := make([]float64, len(policies))
 		for pi, p := range policies {
-			net := netsim.New(o.Seed)
+			net := newNet(o, o.Seed)
 			fab := topo.TestbedClos(net, topo.DefaultConfig())
 			stop := deploy(net, fab, p, o)
 			var col stats.FCTCollector

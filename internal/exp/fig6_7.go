@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"github.com/accnet/acc/internal/netsim"
 	"github.com/accnet/acc/internal/simtime"
 	"github.com/accnet/acc/internal/stats"
 	"github.com/accnet/acc/internal/topo"
@@ -38,7 +37,7 @@ func runFig6(o Options) []*Table {
 		Cols:  []string{"policy", "avg queue(KB)", "avg utilization"},
 	}
 	for _, p := range policies {
-		net := netsim.New(o.Seed)
+		net := newNet(o, o.Seed)
 		fab := topo.Star(net, 13, topo.DefaultConfig())
 		recv := fab.Hosts[12]
 		stop := deploy(net, fab, p, o)
@@ -125,7 +124,7 @@ func runFig7(o Options) []*Table {
 			p999[i] = make([]float64, len(policies))
 		}
 		for pi, p := range policies {
-			net := netsim.New(o.Seed)
+			net := newNet(o, o.Seed)
 			fab := topo.Star(net, 3, topo.DefaultConfig())
 			stop := deploy(net, fab, p, o)
 			var col stats.FCTCollector

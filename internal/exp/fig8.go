@@ -33,7 +33,7 @@ func runFig8(o Options) []*Table {
 		accP := accPolicy()
 		accP.TunePrios = []int{3} // only the RDMA class is auto-tuned
 		for _, p := range []Policy{vendor(), accP} {
-			net := netsim.New(o.Seed)
+			net := newNet(o, o.Seed)
 			cfg := topo.DefaultConfig()
 			cfg.HostBW = bw
 			cfg.FabricBW = bw

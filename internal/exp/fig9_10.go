@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"github.com/accnet/acc/internal/netsim"
 	"github.com/accnet/acc/internal/simtime"
 	"github.com/accnet/acc/internal/topo"
 	"github.com/accnet/acc/internal/workload"
@@ -69,7 +68,7 @@ func runFig9(o Options) []*Table {
 			policies := []Policy{vendor(), accPolicy()}
 			iops := make([]float64, len(policies))
 			forEachParallel(len(policies), func(pi int) {
-				net := netsim.New(o.Seed)
+				net := newNet(o, o.Seed)
 				fab := topo.TestbedClos(net, topo.DefaultConfig())
 				stop := deploy(net, fab, policies[pi], o)
 				cluster := workload.RunStorage(net, workload.StorageConfig{
@@ -110,7 +109,7 @@ func runFig10(o Options) []*Table {
 	for _, model := range []workload.TrainingModel{workload.AlexNet(), workload.ResNet50()} {
 		speeds := make([]float64, 3)
 		for pi, p := range []Policy{secn1(), secn2(25), accPolicy()} {
-			net := netsim.New(o.Seed)
+			net := newNet(o, o.Seed)
 			fab := topo.Star(net, 8, topo.DefaultConfig())
 			stop := deploy(net, fab, p, o)
 			job := workload.RunTraining(net, workload.TrainingConfig{

@@ -81,7 +81,7 @@ func robustFabric(net *netsim.Network) *topo.Fabric {
 // after the fabric so every policy sees the identical fault sequence),
 // start traffic, inject, then measure the fault window and the recovery.
 func runRobust(o Options, p Policy, plan faults.Plan, tel *faults.Telemetry, dur simtime.Duration) robustRow {
-	net := netsim.New(o.Seed)
+	net := newNet(o, o.Seed)
 	fab := robustFabric(net)
 	inj, err := faults.NewInjector(net, fab, plan)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"github.com/accnet/acc/internal/eventq"
+	"github.com/accnet/acc/internal/obs"
 	"github.com/accnet/acc/internal/simtime"
 )
 
@@ -20,6 +21,14 @@ type Network struct {
 	Q   *eventq.Queue
 	Rng *rand.Rand
 
+	// Tracer receives structured observability events (drops, marks, PFC,
+	// transport and agent transitions). Nil — the default — disables
+	// tracing: every hook is a nil-receiver no-op, preserving the
+	// zero-allocation hot-path guarantees. A non-nil Tracer may be shared
+	// between Networks running on different goroutines (it locks
+	// internally).
+	Tracer *obs.Tracer
+
 	nodes    []Node
 	nextFlow FlowID
 
@@ -27,6 +36,9 @@ type Network struct {
 	// is per-Network, like the RNG: experiment runners execute independent
 	// Networks in parallel (exp.forEachParallel) and must never share pools.
 	pktFree []*Packet
+
+	// pktAlloced counts AllocPacket calls, for run manifests.
+	pktAlloced uint64
 }
 
 // New creates an empty network seeded deterministically.
@@ -52,6 +64,10 @@ func (n *Network) Node(id int) Node { return n.nodes[id] }
 
 // Nodes returns all registered nodes.
 func (n *Network) Nodes() []Node { return n.nodes }
+
+// PacketsAlloced returns the cumulative number of packets drawn from the
+// pool (manifest "packet totals"; monotonic, counts reuse).
+func (n *Network) PacketsAlloced() uint64 { return n.pktAlloced }
 
 // NextFlowID allocates a fresh globally unique flow id.
 func (n *Network) NextFlowID() FlowID {

@@ -93,6 +93,7 @@ type Packet struct {
 // blackhole. See DESIGN.md "Performance & memory model" for the ownership
 // rules.
 func (n *Network) AllocPacket() *Packet {
+	n.pktAlloced++
 	if last := len(n.pktFree) - 1; last >= 0 {
 		p := n.pktFree[last]
 		n.pktFree[last] = nil

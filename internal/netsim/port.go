@@ -3,6 +3,7 @@ package netsim
 import (
 	"math/rand"
 
+	"github.com/accnet/acc/internal/obs"
 	"github.com/accnet/acc/internal/red"
 	"github.com/accnet/acc/internal/simtime"
 )
@@ -199,6 +200,7 @@ func (p *Port) IsDown() bool { return p.down }
 // packet only survives if the link is back up by the time it would arrive.
 func (p *Port) SetDown(down bool) {
 	p.down = down
+	p.net.Tracer.LinkState(p.net.Now(), p.Owner.ID(), p.Index, down)
 	if p.Peer != nil {
 		p.Peer.down = down
 	}
@@ -218,10 +220,14 @@ func (p *Port) SetDown(down bool) {
 // independent — degrade the peer too for a symmetric brownout.
 func (p *Port) SetBandwidth(r simtime.Rate) { p.Bandwidth = r }
 
-// blackhole counts pkt as lost on the down link and retires it.
+// blackhole counts pkt as lost on the down link and retires it. Link
+// blackholes get their own trace reason (distinct from WRED/overflow
+// switch drops) so fault post-mortems can attribute losses to the cable
+// pull rather than congestion.
 func (p *Port) blackhole(pkt *Packet) {
 	p.BlackholedPackets++
 	p.BlackholedBytes += uint64(pkt.Size)
+	p.net.Tracer.Drop(p.net.Now(), obs.DropLinkBlackhole, p.Owner.ID(), p.Index, pkt.Prio, uint64(pkt.Flow), pkt.Size)
 	p.net.ReleasePacket(pkt)
 }
 

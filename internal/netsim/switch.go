@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"github.com/accnet/acc/internal/obs"
 	"github.com/accnet/acc/internal/red"
 	"github.com/accnet/acc/internal/simtime"
 )
@@ -61,11 +62,19 @@ type Switch struct {
 
 	// Shared-buffer accounting for PFC: bytes resident per (ingress port,
 	// priority), plus the total.
-	ingUsed    [][]int // [port][prio]
-	totalUsed  int
-	pauseSent  [][]bool // pause currently asserted toward upstream [port][prio]
-	DropsTotal uint64   // buffer-overflow drops
-	MarksTotal uint64   // packets CE-marked at this switch
+	ingUsed   [][]int // [port][prio]
+	totalUsed int
+	pauseSent [][]bool // pause currently asserted toward upstream [port][prio]
+	// DropsTotal aggregates every drop at this switch. The per-reason
+	// counters below partition it: DropsTotal = WREDDrops + OverflowDrops
+	// + RouteBlackholes (link blackholes are counted at the transmitting
+	// Port, not here).
+	DropsTotal uint64
+	MarksTotal uint64 // packets CE-marked at this switch
+	// WREDDrops counts WRED drops of non-ECT traffic at egress queues.
+	WREDDrops uint64
+	// OverflowDrops counts shared-buffer admission failures.
+	OverflowDrops uint64
 	// RouteBlackholes counts packets dropped because every ECMP candidate
 	// link toward the destination was down (also included in DropsTotal).
 	RouteBlackholes uint64
@@ -141,6 +150,7 @@ func (s *Switch) SetRED(c red.Config) {
 		for _, q := range p.Queues {
 			if q.ECNEnabled {
 				q.RED = c
+				s.net.Tracer.WREDUpdate(s.net.Now(), s.id, p.Index, q.Prio, -1, c.Kmin, c.Kmax, c.Pmax)
 			}
 		}
 	}
@@ -203,6 +213,7 @@ func (s *Switch) Receive(pkt *Packet, in *Port) {
 		// Every candidate link is down: blackhole the packet.
 		s.DropsTotal++
 		s.RouteBlackholes++
+		s.net.Tracer.Drop(s.net.Now(), obs.DropRouteBlackhole, s.id, in.Index, pkt.Prio, uint64(pkt.Flow), pkt.Size)
 		s.net.ReleasePacket(pkt)
 		return
 	}
@@ -210,6 +221,8 @@ func (s *Switch) Receive(pkt *Packet, in *Port) {
 	// Admit to the shared buffer.
 	if s.totalUsed+pkt.Size > s.cfg.BufferBytes {
 		s.DropsTotal++
+		s.OverflowDrops++
+		s.net.Tracer.Drop(s.net.Now(), obs.DropOverflow, s.id, in.Index, pkt.Prio, uint64(pkt.Flow), pkt.Size)
 		s.net.ReleasePacket(pkt)
 		return
 	}
@@ -224,9 +237,12 @@ func (s *Switch) Receive(pkt *Packet, in *Port) {
 		// WRED dropped a non-ECT packet: release accounting immediately.
 		s.releaseBuffer(pkt)
 		s.DropsTotal++
+		s.WREDDrops++
+		s.net.Tracer.Drop(s.net.Now(), obs.DropWRED, s.id, out.Index, prio, uint64(pkt.Flow), pkt.Size)
 		s.net.ReleasePacket(pkt)
 	} else if pkt.CE && !wasCE {
 		s.MarksTotal++
+		s.net.Tracer.Mark(s.net.Now(), s.id, out.Index, prio, uint64(pkt.Flow), pkt.Size)
 	}
 
 	if s.cfg.PFC.Enabled {
@@ -244,6 +260,7 @@ func (s *Switch) checkPause(in *Port, prio int) {
 	xoff := int(s.cfg.PFC.Alpha * float64(free))
 	if s.ingUsed[in.Index][prio] > xoff {
 		s.pauseSent[in.Index][prio] = true
+		s.net.Tracer.PFC(s.net.Now(), s.id, in.Index, prio, true)
 		pause := s.net.AllocPacket()
 		pause.Kind, pause.PausePrio, pause.Size, pause.Src = KindPause, prio, CtrlPacketBytes, s.id
 		in.SendCtrl(pause)
@@ -260,6 +277,7 @@ func (s *Switch) checkResume(portIdx, prio int) {
 	xoff := int(s.cfg.PFC.Alpha * float64(free))
 	if s.ingUsed[portIdx][prio] <= max(0, xoff-s.cfg.PFC.XonGap) {
 		s.pauseSent[portIdx][prio] = false
+		s.net.Tracer.PFC(s.net.Now(), s.id, portIdx, prio, false)
 		resume := s.net.AllocPacket()
 		resume.Kind, resume.PausePrio, resume.Size, resume.Src = KindResume, prio, CtrlPacketBytes, s.id
 		s.Ports[portIdx].SendCtrl(resume)

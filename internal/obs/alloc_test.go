@@ -1,0 +1,47 @@
+//go:build !race
+
+package obs
+
+import (
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// TestNilTracerHooksAllocateNothing pins the disabled path: a nil *Tracer
+// hook call must cost a nil check and nothing else, so instrumented hot
+// paths keep the simulator's zero-allocation guarantees.
+func TestNilTracerHooksAllocateNothing(t *testing.T) {
+	var tr *Tracer
+	now := simtime.Time(0)
+	if avg := testing.AllocsPerRun(1000, func() {
+		tr.Drop(now, DropWRED, 1, 2, 3, 4, 5)
+		tr.Mark(now, 1, 2, 3, 4, 5)
+		tr.PFC(now, 1, 2, 3, true)
+		tr.WREDUpdate(now, 1, 2, 3, -1, 100, 400, 0.1)
+		tr.CNP(now, 1, 2)
+		tr.RateCut(now, 1, 2, 100e9, 50e9, 0.5)
+		tr.TCPRTO(now, 1, 2, simtime.Millisecond)
+		tr.AgentStep(now, 1, 2, 3, 4, 0.9)
+		tr.LinkState(now, 1, 2, true)
+	}); avg != 0 {
+		t.Fatalf("nil-tracer hooks allocate %v/op, want 0", avg)
+	}
+}
+
+// TestEnabledEmitAllocatesNothingOnceWarm pins the enabled path after the
+// ring has filled: records are fixed-size values stored inline, so
+// steady-state tracing costs a mutex and a copy, never an allocation.
+func TestEnabledEmitAllocatesNothingOnceWarm(t *testing.T) {
+	tr := NewTracer(128)
+	now := simtime.Time(0)
+	for i := 0; i < 256; i++ { // fill past capacity so appends become overwrites
+		tr.Mark(now, 1, 2, 3, 4, 5)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		tr.Drop(now, DropOverflow, 1, 2, 3, 4, 5)
+		tr.AgentStep(now, 1, 2, 3, 4, 0.9)
+	}); avg != 0 {
+		t.Fatalf("warm enabled-tracer emit allocates %v/op, want 0", avg)
+	}
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// appendJSON renders one record as a single-line JSON object. Fields that
+// are not meaningful for the record's kind (-1 indices, zero scalars) are
+// omitted so traces stay compact and greppable.
+func appendJSON(buf []byte, r Record) []byte {
+	buf = append(buf, `{"t":`...)
+	buf = strconv.AppendFloat(buf, r.Time.Seconds(), 'g', -1, 64)
+	buf = append(buf, `,"kind":"`...)
+	buf = append(buf, r.Kind.String()...)
+	buf = append(buf, '"')
+	if r.Kind == KindDrop {
+		buf = append(buf, `,"reason":"`...)
+		buf = append(buf, r.Reason.String()...)
+		buf = append(buf, '"')
+	}
+	if r.Node >= 0 {
+		buf = append(buf, `,"node":`...)
+		buf = strconv.AppendInt(buf, int64(r.Node), 10)
+	}
+	if r.Port >= 0 {
+		buf = append(buf, `,"port":`...)
+		buf = strconv.AppendInt(buf, int64(r.Port), 10)
+	}
+	if r.Prio >= 0 {
+		buf = append(buf, `,"prio":`...)
+		buf = strconv.AppendInt(buf, int64(r.Prio), 10)
+	}
+	if r.Flow != 0 {
+		buf = append(buf, `,"flow":`...)
+		buf = strconv.AppendUint(buf, r.Flow, 10)
+	}
+	if r.Size != 0 {
+		buf = append(buf, `,"size":`...)
+		buf = strconv.AppendInt(buf, int64(r.Size), 10)
+	}
+	if r.Kind == KindAgent || r.Kind == KindWRED {
+		buf = append(buf, `,"action":`...)
+		buf = strconv.AppendInt(buf, int64(r.Action), 10)
+	}
+	if r.V1 != 0 || r.V2 != 0 || r.V3 != 0 {
+		buf = append(buf, `,"v1":`...)
+		buf = strconv.AppendFloat(buf, r.V1, 'g', -1, 64)
+		buf = append(buf, `,"v2":`...)
+		buf = strconv.AppendFloat(buf, r.V2, 'g', -1, 64)
+		buf = append(buf, `,"v3":`...)
+		buf = strconv.AppendFloat(buf, r.V3, 'g', -1, 64)
+	}
+	return append(buf, '}', '\n')
+}
+
+// WriteJSONL dumps the most recent last records (<=0 = all resident) as
+// JSON Lines, oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer, last int) error {
+	recs := t.Last(last)
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, r := range recs {
+		buf = appendJSON(buf[:0], r)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePrometheus renders the tracer's counters (and, when run is non-nil,
+// the run's engine totals) in the Prometheus text exposition format.
+func WritePrometheus(w io.Writer, t *Tracer, run *Run) error {
+	bw := bufio.NewWriter(w)
+	snap := t.Snapshot()
+	fmt.Fprintln(bw, "# HELP accsim_trace_records_total Trace records emitted, by kind.")
+	fmt.Fprintln(bw, "# TYPE accsim_trace_records_total counter")
+	for k := Kind(0); k < numKinds; k++ {
+		if n, ok := snap.ByKind[k.String()]; ok {
+			fmt.Fprintf(bw, "accsim_trace_records_total{kind=%q} %d\n", k.String(), n)
+		}
+	}
+	fmt.Fprintln(bw, "# HELP accsim_drops_total Packet drops traced, by reason.")
+	fmt.Fprintln(bw, "# TYPE accsim_drops_total counter")
+	for r := DropReason(1); r < numReasons; r++ {
+		if n, ok := snap.Drops[r.String()]; ok {
+			fmt.Fprintf(bw, "accsim_drops_total{reason=%q} %d\n", r.String(), n)
+		}
+	}
+	fmt.Fprintln(bw, "# HELP accsim_trace_ring_resident Records currently resident in the trace ring.")
+	fmt.Fprintln(bw, "# TYPE accsim_trace_ring_resident gauge")
+	fmt.Fprintf(bw, "accsim_trace_ring_resident %d\n", t.Len())
+	if run != nil {
+		m := run.Manifest()
+		fmt.Fprintln(bw, "# HELP accsim_run_events_processed_total Simulator events processed across the run's networks.")
+		fmt.Fprintln(bw, "# TYPE accsim_run_events_processed_total counter")
+		fmt.Fprintf(bw, "accsim_run_events_processed_total %d\n", m.EventsProcessed)
+		fmt.Fprintln(bw, "# HELP accsim_run_packets_alloced_total Packets drawn from the per-network pools across the run.")
+		fmt.Fprintln(bw, "# TYPE accsim_run_packets_alloced_total counter")
+		fmt.Fprintf(bw, "accsim_run_packets_alloced_total %d\n", m.PacketsAlloced)
+		fmt.Fprintln(bw, "# HELP accsim_run_finished Whether the current run's manifest is final.")
+		fmt.Fprintln(bw, "# TYPE accsim_run_finished gauge")
+		fin := 0
+		if m.Finished {
+			fin = 1
+		}
+		fmt.Fprintf(bw, "accsim_run_finished %d\n", fin)
+	}
+	return bw.Flush()
+}
+
+// ParsePrometheus validates text in the Prometheus exposition format and
+// returns the sample values keyed by "name{labels}". It accepts the subset
+// the scrape protocol requires — # comment lines and `name[{labels}] value`
+// samples — and rejects anything else, so tests and CI can assert our
+// /metrics output would survive a real scrape.
+func ParsePrometheus(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("obs: metrics line %d: no value: %q", lineNo, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				return nil, fmt.Errorf("obs: metrics line %d: unterminated labels: %q", lineNo, line)
+			}
+			name = key[:i]
+		}
+		if !validMetricName(name) {
+			return nil, fmt.Errorf("obs: metrics line %d: bad metric name %q", lineNo, name)
+		}
+		out[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateTraceJSONL checks that every line of a JSONL trace parses as a
+// JSON object with a "kind" field, returning the record count.
+func ValidateTraceJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return n, fmt.Errorf("obs: trace line %d: %v", n, err)
+		}
+		if _, ok := rec["kind"].(string); !ok {
+			return n, fmt.Errorf("obs: trace line %d: missing kind", n)
+		}
+	}
+	return n, sc.Err()
+}
+
+// WriteFiles dumps the run's observability artifacts into dir using the
+// given name prefix — <prefix>.manifest.json, <prefix>.trace.jsonl, and
+// <prefix>.metrics.prom — then re-reads each file through the matching
+// parser so a written artifact is guaranteed loadable. It returns the
+// three paths.
+func (r *Run) WriteFiles(dir, prefix string) (manifest, trace, metrics string, err error) {
+	if err = os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", "", err
+	}
+	write := func(name string, fill func(io.Writer) error) (string, error) {
+		path := filepath.Join(dir, prefix+name)
+		f, err := os.Create(path)
+		if err != nil {
+			return "", err
+		}
+		if err := fill(f); err != nil {
+			f.Close()
+			return "", err
+		}
+		return path, f.Close()
+	}
+	m := r.Manifest()
+	if manifest, err = write(".manifest.json", m.EncodeJSON); err != nil {
+		return "", "", "", err
+	}
+	if trace, err = write(".trace.jsonl", func(w io.Writer) error { return r.Tracer.WriteJSONL(w, 0) }); err != nil {
+		return "", "", "", err
+	}
+	if metrics, err = write(".metrics.prom", func(w io.Writer) error { return WritePrometheus(w, r.Tracer, r) }); err != nil {
+		return "", "", "", err
+	}
+	// Read-back validation: a run whose artifacts cannot be parsed should
+	// fail loudly at write time, not when someone finally needs the trace.
+	check := func(path string, parse func(io.Reader) error) error {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return parse(f)
+	}
+	if err = check(manifest, func(rd io.Reader) error { _, e := DecodeManifest(rd); return e }); err != nil {
+		return "", "", "", err
+	}
+	if err = check(trace, func(rd io.Reader) error { _, e := ValidateTraceJSONL(rd); return e }); err != nil {
+		return "", "", "", err
+	}
+	if err = check(metrics, func(rd io.Reader) error { _, e := ParsePrometheus(rd); return e }); err != nil {
+		return "", "", "", err
+	}
+	return manifest, trace, metrics, nil
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Manifest describes one experiment run: what was run, with which knobs,
+// and the aggregate totals observed. It is written as JSON alongside the
+// run's result tables so a trace/metrics snapshot can always be tied back
+// to the exact configuration that produced it.
+type Manifest struct {
+	Experiment string            `json:"experiment"`
+	Seed       int64             `json:"seed"`
+	Scale      float64           `json:"scale"`
+	Config     map[string]string `json:"config,omitempty"` // free-form knobs (fault plan, episodes, ...)
+	StartedAt  time.Time         `json:"started_at"`
+	WallTimeS  float64           `json:"wall_time_s"`
+	Finished   bool              `json:"finished"`
+
+	// Engine totals summed over every Network the run created.
+	Networks        int    `json:"networks"`
+	EventsProcessed uint64 `json:"events_processed"`
+	PacketsAlloced  uint64 `json:"packets_alloced"`
+
+	// Trace totals at finish time.
+	TraceEmitted  uint64            `json:"trace_emitted"`
+	TraceByKind   map[string]uint64 `json:"trace_by_kind,omitempty"`
+	DropsByReason map[string]uint64 `json:"drops_by_reason,omitempty"`
+	TraceRingCap  int               `json:"trace_ring_cap"`
+	TraceResident int               `json:"trace_resident"`
+}
+
+// EncodeJSON writes the manifest as indented JSON.
+func (m *Manifest) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// DecodeManifest parses a manifest written by EncodeJSON.
+func DecodeManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Run ties a Tracer to the manifest of one experiment execution. The
+// experiment harness calls Begin before running, RegisterEngine for every
+// simulation Network it creates (engines report their event/packet totals
+// lazily, so registration costs nothing during the run), and Finish after
+// the last table is produced. Manifest() is safe to call while the run is
+// still in flight — the live endpoint serves partial manifests.
+type Run struct {
+	Tracer *Tracer
+
+	mu      sync.Mutex
+	man     Manifest
+	engines []engineFns
+}
+
+type engineFns struct{ events, packets func() uint64 }
+
+// NewRun returns a run whose trace ring holds ringCap records
+// (<=0 selects DefaultRingCap).
+func NewRun(ringCap int) *Run {
+	return &Run{Tracer: NewTracer(ringCap)}
+}
+
+// Begin stamps the manifest header for one experiment execution.
+func (r *Run) Begin(experiment string, seed int64, scale float64, config map[string]string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.man = Manifest{
+		Experiment: experiment,
+		Seed:       seed,
+		Scale:      scale,
+		Config:     config,
+		StartedAt:  time.Now().UTC(),
+	}
+	r.engines = nil
+}
+
+// RegisterEngine adds one simulation engine's lazy total reporters
+// (typically net.Q.Processed and net.PacketsAlloced method values). Safe
+// to call from parallel experiment workers.
+func (r *Run) RegisterEngine(events, packets func() uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.engines = append(r.engines, engineFns{events, packets})
+	r.mu.Unlock()
+}
+
+// Finish stamps wall time and engine/trace totals. The registered engines
+// must be idle (the experiment has returned) when Finish is called.
+func (r *Run) Finish() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.man.WallTimeS = time.Since(r.man.StartedAt).Seconds()
+	r.man.Finished = true
+	r.man.Networks = len(r.engines)
+	r.man.EventsProcessed, r.man.PacketsAlloced = 0, 0
+	for _, e := range r.engines {
+		if e.events != nil {
+			r.man.EventsProcessed += e.events()
+		}
+		if e.packets != nil {
+			r.man.PacketsAlloced += e.packets()
+		}
+	}
+	snap := r.Tracer.Snapshot()
+	r.man.TraceEmitted = snap.Emitted
+	r.man.TraceByKind = snap.ByKind
+	r.man.DropsByReason = snap.Drops
+	if r.Tracer != nil {
+		r.man.TraceRingCap = cap(r.Tracer.ring)
+		r.man.TraceResident = r.Tracer.Len()
+	}
+}
+
+// Manifest returns a copy of the current manifest (partial until Finish).
+func (r *Run) Manifest() Manifest {
+	if r == nil {
+		return Manifest{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.man
+}

@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+func statFile(p string) (int64, error) {
+	fi, err := os.Stat(p)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func at(ms int) simtime.Time {
+	return simtime.Time(0).Add(simtime.Duration(ms) * simtime.Millisecond)
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Mark(at(i), i, 0, 0, uint64(100+i), 1000)
+	}
+	if got := tr.Emitted(); got != 10 {
+		t.Fatalf("Emitted = %d, want 10", got)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want ring cap 4", got)
+	}
+	recs := tr.Last(0)
+	if len(recs) != 4 {
+		t.Fatalf("Last(0) returned %d records, want 4", len(recs))
+	}
+	// The ring must hold the 4 newest records, oldest first.
+	for i, r := range recs {
+		if want := int32(6 + i); r.Node != want {
+			t.Fatalf("recs[%d].Node = %d, want %d (oldest-first after wrap)", i, r.Node, want)
+		}
+	}
+	// Last(n) with n < resident trims from the old end.
+	recs = tr.Last(2)
+	if len(recs) != 2 || recs[0].Node != 8 || recs[1].Node != 9 {
+		t.Fatalf("Last(2) = %+v, want nodes 8,9", recs)
+	}
+	// Counters survive overwrites.
+	if snap := tr.Snapshot(); snap.ByKind["ecn_mark"] != 10 {
+		t.Fatalf("ByKind[ecn_mark] = %d, want 10", snap.ByKind["ecn_mark"])
+	}
+}
+
+func TestNilTracerIsDisabledNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	// Every hook must be callable on a nil receiver.
+	tr.Drop(at(1), DropWRED, 1, 2, 3, 4, 5)
+	tr.Mark(at(1), 1, 2, 3, 4, 5)
+	tr.PFC(at(1), 1, 2, 3, true)
+	tr.WREDUpdate(at(1), 1, 2, 3, -1, 100, 400, 0.1)
+	tr.CNP(at(1), 1, 2)
+	tr.RateCut(at(1), 1, 2, 100e9, 50e9, 0.5)
+	tr.TCPRTO(at(1), 1, 2, simtime.Millisecond)
+	tr.AgentStep(at(1), 1, 2, 3, 4, 0.9)
+	tr.LinkState(at(1), 1, 2, true)
+	if tr.Emitted() != 0 || tr.Len() != 0 || tr.Last(10) != nil {
+		t.Fatal("nil tracer accumulated state")
+	}
+	snap := tr.Snapshot()
+	if snap.Emitted != 0 || len(snap.ByKind) != 0 || len(snap.Drops) != 0 {
+		t.Fatalf("nil tracer snapshot non-empty: %+v", snap)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf, 0); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil tracer WriteJSONL: err=%v len=%d", err, buf.Len())
+	}
+	if err := WritePrometheus(&buf, tr, nil); err != nil {
+		t.Fatalf("nil tracer WritePrometheus: %v", err)
+	}
+	if _, err := ParsePrometheus(&buf); err != nil {
+		t.Fatalf("nil-tracer metrics snapshot does not parse: %v", err)
+	}
+}
+
+func emitOneOfEach(tr *Tracer) {
+	tr.Drop(at(1), DropWRED, 1, 0, 3, 42, 1048)
+	tr.Drop(at(2), DropOverflow, 1, 1, 3, 43, 1048)
+	tr.Drop(at(3), DropRouteBlackhole, 2, 0, 3, 44, 1048)
+	tr.Drop(at(4), DropLinkBlackhole, 2, 1, 3, 45, 1048)
+	tr.Mark(at(5), 1, 0, 3, 42, 1048)
+	tr.PFC(at(6), 1, 2, 3, true)
+	tr.PFC(at(7), 1, 2, 3, false)
+	tr.WREDUpdate(at(8), 1, 0, 3, 5, 100*1024, 400*1024, 0.2)
+	tr.CNP(at(9), 7, 42)
+	tr.RateCut(at(10), 7, 42, 100e9, 50e9, 0.5)
+	tr.TCPRTO(at(11), 8, 77, 4*simtime.Millisecond)
+	tr.AgentStep(at(12), 1, 0, 3, 5, 0.93)
+	tr.LinkState(at(13), 2, 1, true)
+}
+
+func TestJSONLValidatesAndCarriesKinds(t *testing.T) {
+	tr := NewTracer(64)
+	emitOneOfEach(tr)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateTraceJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("trace JSONL does not validate: %v", err)
+	}
+	if n != 13 {
+		t.Fatalf("trace has %d lines, want 13", n)
+	}
+	// Spot-check the drop line carries its reason and the WRED line its
+	// template, via real JSON decoding rather than string matching.
+	var sawWRED, sawDropReason bool
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		switch rec["kind"] {
+		case "wred_update":
+			sawWRED = true
+			if rec["v1"].(float64) != 100*1024 || rec["v2"].(float64) != 400*1024 {
+				t.Fatalf("wred_update template wrong: %v", rec)
+			}
+		case "drop":
+			if rec["reason"] == "link_blackhole" {
+				sawDropReason = true
+			}
+		}
+	}
+	if !sawWRED || !sawDropReason {
+		t.Fatalf("missing expected records: wred=%v dropReason=%v", sawWRED, sawDropReason)
+	}
+}
+
+func TestPrometheusSnapshotParses(t *testing.T) {
+	tr := NewTracer(64)
+	emitOneOfEach(tr)
+	run := NewRun(64)
+	run.Tracer = tr
+	run.Begin("unit", 1, 1, nil)
+	evs := uint64(0)
+	run.RegisterEngine(func() uint64 { evs += 123; return evs }, func() uint64 { return 45 })
+	run.Finish()
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, tr, run); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("metrics snapshot rejected by scrape parser: %v\n%s", err, buf.String())
+	}
+	checks := map[string]float64{
+		`accsim_trace_records_total{kind="drop"}`:      4,
+		`accsim_trace_records_total{kind="ecn_mark"}`:  1,
+		`accsim_drops_total{reason="wred"}`:            1,
+		`accsim_drops_total{reason="overflow"}`:        1,
+		`accsim_drops_total{reason="route_blackhole"}`: 1,
+		`accsim_drops_total{reason="link_blackhole"}`:  1,
+		`accsim_trace_ring_resident`:                   13,
+		`accsim_run_events_processed_total`:            123,
+		`accsim_run_packets_alloced_total`:             45,
+		`accsim_run_finished`:                          1,
+	}
+	for key, want := range checks {
+		if got, ok := samples[key]; !ok || got != want {
+			t.Errorf("sample %s = %v (present=%v), want %v", key, got, ok, want)
+		}
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		"metric{unterminated 1\n",
+		"1leading_digit 2\n",
+		"ok 1\nbad-name 2\n",
+		"metric notanumber\n",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParsePrometheus accepted %q", bad)
+		}
+	}
+}
+
+func TestManifestJSONRoundTrip(t *testing.T) {
+	run := NewRun(32)
+	run.Begin("fig8", 7, 2.0, map[string]string{"offline_episodes": "5"})
+	run.RegisterEngine(func() uint64 { return 1000 }, func() uint64 { return 200 })
+	run.RegisterEngine(func() uint64 { return 500 }, nil)
+	run.Tracer.Drop(at(1), DropOverflow, 1, 2, 3, 4, 5)
+	run.Finish()
+
+	var buf bytes.Buffer
+	m := run.Manifest()
+	if err := m.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Experiment != "fig8" || got.Seed != 7 || got.Scale != 2.0 {
+		t.Fatalf("header mangled: %+v", got)
+	}
+	if got.Config["offline_episodes"] != "5" {
+		t.Fatalf("config mangled: %+v", got.Config)
+	}
+	if !got.Finished || got.Networks != 2 {
+		t.Fatalf("finish totals wrong: finished=%v networks=%d", got.Finished, got.Networks)
+	}
+	if got.EventsProcessed != 1500 || got.PacketsAlloced != 200 {
+		t.Fatalf("engine totals wrong: events=%d packets=%d", got.EventsProcessed, got.PacketsAlloced)
+	}
+	if got.TraceEmitted != 1 || got.DropsByReason["overflow"] != 1 {
+		t.Fatalf("trace totals wrong: %+v", got)
+	}
+	if got.TraceRingCap != 32 || got.TraceResident != 1 {
+		t.Fatalf("ring stats wrong: cap=%d resident=%d", got.TraceRingCap, got.TraceResident)
+	}
+}
+
+func TestNilRunIsNoOp(t *testing.T) {
+	var run *Run
+	run.Begin("x", 1, 1, nil)
+	run.RegisterEngine(func() uint64 { return 1 }, nil)
+	run.Finish()
+	if m := run.Manifest(); m.Experiment != "" || m.Finished {
+		t.Fatalf("nil run manifest non-zero: %+v", m)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	run := NewRun(64)
+	run.Begin("unit", 1, 1, nil)
+	emitOneOfEach(run.Tracer)
+	run.Finish()
+	srv := NewServer(nil) // starts with no run, swapped in below like accsim -exp all
+	srv.SetRun(run)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	} else if _, err := ParsePrometheus(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics body does not parse: %v", err)
+	}
+
+	if code, body := get("/manifest"); code != 200 {
+		t.Fatalf("/manifest status %d", code)
+	} else if m, err := DecodeManifest(strings.NewReader(body)); err != nil || m.Experiment != "unit" {
+		t.Fatalf("/manifest body bad: err=%v m=%+v", err, m)
+	}
+
+	if code, body := get("/trace?last=3"); code != 200 {
+		t.Fatalf("/trace status %d", code)
+	} else if n, err := ValidateTraceJSONL(strings.NewReader(body)); err != nil || n != 3 {
+		t.Fatalf("/trace?last=3: n=%d err=%v", n, err)
+	}
+
+	if code, _ := get("/trace?last=bogus"); code != 400 {
+		t.Fatalf("/trace?last=bogus status %d, want 400", code)
+	}
+
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestWriteFilesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	run := NewRun(64)
+	run.Begin("unit", 1, 1, nil)
+	emitOneOfEach(run.Tracer)
+	run.Finish()
+	manifest, trace, metrics, err := run.WriteFiles(dir, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{manifest, trace, metrics} {
+		if fi, err := statFile(p); err != nil || fi == 0 {
+			t.Fatalf("artifact %s empty or missing (size=%d err=%v)", p, fi, err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+)
+
+// Server is the live introspection endpoint: it serves the current Run's
+// metrics, manifest, and trace tail over HTTP, plus net/http/pprof for
+// profiling long simulations while they execute. The served Run can be
+// swapped between experiments (accsim -exp all) with SetRun.
+type Server struct {
+	mu  sync.Mutex
+	run *Run
+}
+
+// NewServer returns a server exposing run (which may be swapped later).
+func NewServer(run *Run) *Server { return &Server{run: run} }
+
+// SetRun atomically swaps the run being served.
+func (s *Server) SetRun(run *Run) {
+	s.mu.Lock()
+	s.run = run
+	s.mu.Unlock()
+}
+
+// Run returns the run currently being served.
+func (s *Server) Run() *Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.run
+}
+
+// Handler returns the mux for the introspection endpoint:
+//
+//	/metrics       Prometheus text-format counters and gauges
+//	/manifest      current run manifest as JSON (partial until finished)
+//	/trace?last=N  most recent N trace records as JSON Lines (default 256)
+//	/debug/pprof/  standard Go profiling endpoints
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		run := s.Run()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		var tr *Tracer
+		if run != nil {
+			tr = run.Tracer
+		}
+		_ = WritePrometheus(w, tr, run)
+	})
+	mux.HandleFunc("/manifest", func(w http.ResponseWriter, _ *http.Request) {
+		run := s.Run()
+		w.Header().Set("Content-Type", "application/json")
+		m := run.Manifest()
+		_ = (&m).EncodeJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		run := s.Run()
+		last := 256
+		if v := r.URL.Query().Get("last"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "bad last parameter", http.StatusBadRequest)
+				return
+			}
+			last = n
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		var tr *Tracer
+		if run != nil {
+			tr = run.Tracer
+		}
+		_ = tr.WriteJSONL(w, last)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 
+	"github.com/accnet/acc/internal/obs"
 	"github.com/accnet/acc/internal/simtime"
 )
 
@@ -69,6 +70,44 @@ func CDFPoints(recs []FlowRecord, knots int) [][2]float64 {
 		out[i] = [2]float64{Percentile(fcts, p), p}
 	}
 	return out
+}
+
+// WriteTraceSeriesCSV extracts the per-queue/per-agent time series hiding
+// in a trace — Kmin actuations (KindWRED, value = Kmin bytes), rewards
+// (KindAgent, value = reward), rate cuts (KindRateCut, value = new rate) —
+// and writes them in the same (time_s, value) CSV schema as
+// WriteSeriesCSV, with node/port/prio key columns so one file can carry
+// every queue. Records of other kinds are skipped.
+func WriteTraceSeriesCSV(w io.Writer, recs []obs.Record, kind obs.Kind, valueLabel string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "node", "port", "prio", valueLabel}); err != nil {
+		return err
+	}
+	val := func(r obs.Record) float64 {
+		switch kind {
+		case obs.KindRateCut:
+			return r.V2
+		default:
+			return r.V1
+		}
+	}
+	for _, r := range recs {
+		if r.Kind != kind {
+			continue
+		}
+		row := []string{
+			strconv.FormatFloat(r.Time.Seconds(), 'g', -1, 64),
+			strconv.FormatInt(int64(r.Node), 10),
+			strconv.FormatInt(int64(r.Port), 10),
+			strconv.FormatInt(int64(r.Prio), 10),
+			strconv.FormatFloat(val(r), 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // SummaryRow renders an FCTSummary as CSV-friendly strings.

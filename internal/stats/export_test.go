@@ -6,8 +6,47 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/accnet/acc/internal/obs"
 	"github.com/accnet/acc/internal/simtime"
 )
+
+func TestWriteTraceSeriesCSV(t *testing.T) {
+	recs := []obs.Record{
+		{Time: simtime.Time(simtime.Millisecond), Kind: obs.KindWRED, Node: 3, Port: 1, Prio: 3, V1: 100 * 1024, V2: 400 * 1024, V3: 0.2},
+		{Time: simtime.Time(2 * simtime.Millisecond), Kind: obs.KindAgent, Node: 3, Port: 0, Prio: 3, V1: 0.75},
+		{Time: simtime.Time(3 * simtime.Millisecond), Kind: obs.KindWRED, Node: 3, Port: 1, Prio: 3, V1: 200 * 1024, V2: 800 * 1024, V3: 0.1},
+		{Time: simtime.Time(4 * simtime.Millisecond), Kind: obs.KindRateCut, Node: 7, Port: -1, Prio: -1, V1: 100e9, V2: 50e9},
+	}
+	var b strings.Builder
+	if err := WriteTraceSeriesCSV(&b, recs, obs.KindWRED, "kmin_bytes"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(rows) != 3 { // header + the two KindWRED records, other kinds skipped
+		t.Fatalf("got %d rows, want 3:\n%s", len(rows), b.String())
+	}
+	if want := []string{"time_s", "node", "port", "prio", "kmin_bytes"}; strings.Join(rows[0], ",") != strings.Join(want, ",") {
+		t.Fatalf("header = %v, want %v", rows[0], want)
+	}
+	if rows[1][4] != "102400" || rows[2][4] != "204800" {
+		t.Fatalf("kmin values = %q,%q", rows[1][4], rows[2][4])
+	}
+	// Rate cuts report the new rate (V2), not V1.
+	b.Reset()
+	if err := WriteTraceSeriesCSV(&b, recs, obs.KindRateCut, "rate_bps"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("rate-cut export: rows=%d err=%v", len(rows), err)
+	}
+	if rows[1][4] != "5e+10" {
+		t.Fatalf("rate value = %q, want 5e+10 (the post-cut rate)", rows[1][4])
+	}
+}
 
 func TestWriteSeriesCSVRoundTrip(t *testing.T) {
 	var s Series
@@ -86,6 +125,81 @@ func TestWriteFCTCSVRoundTrip(t *testing.T) {
 		}
 		if row[4] != r.Class {
 			t.Errorf("row %d class = %q, want %q", i, row[4], r.Class)
+		}
+	}
+}
+
+func TestCDFPointsEdgeCases(t *testing.T) {
+	// Empty records: no curve.
+	if got := CDFPoints(nil, 5); got != nil {
+		t.Fatalf("CDFPoints(nil) = %v, want nil", got)
+	}
+	// Degenerate knot counts: a CDF needs at least two knots.
+	one := []FlowRecord{{Size: 1000, Start: 0, End: simtime.Time(simtime.Millisecond)}}
+	if got := CDFPoints(one, 1); got != nil {
+		t.Fatalf("CDFPoints(knots=1) = %v, want nil", got)
+	}
+	if got := CDFPoints(one, 0); got != nil {
+		t.Fatalf("CDFPoints(knots=0) = %v, want nil", got)
+	}
+	// Single flow: every knot collapses onto the one FCT, fractions still
+	// sweep 0..1.
+	pts := CDFPoints(one, 4)
+	if len(pts) != 4 {
+		t.Fatalf("single-flow CDF has %d knots, want 4", len(pts))
+	}
+	for i, pt := range pts {
+		if pt[0] != 0.001 {
+			t.Errorf("knot %d value = %v, want 0.001", i, pt[0])
+		}
+		if want := float64(i) / 3; pt[1] != want {
+			t.Errorf("knot %d fraction = %v, want %v", i, pt[1], want)
+		}
+	}
+	// More knots than records: interpolation between closest ranks keeps
+	// the curve monotone in both coordinates and anchored at min/max.
+	three := []FlowRecord{
+		{Size: 1000, End: simtime.Time(simtime.Millisecond)},
+		{Size: 1000, End: simtime.Time(2 * simtime.Millisecond)},
+		{Size: 1000, End: simtime.Time(4 * simtime.Millisecond)},
+	}
+	pts = CDFPoints(three, 9)
+	if len(pts) != 9 {
+		t.Fatalf("CDF has %d knots, want 9", len(pts))
+	}
+	if pts[0][0] != 0.001 || pts[8][0] != 0.004 {
+		t.Fatalf("CDF endpoints = %v, %v, want 0.001, 0.004", pts[0][0], pts[8][0])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] <= pts[i-1][1] {
+			t.Fatalf("CDF not monotone at knot %d: %v -> %v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestSummaryRowShapes(t *testing.T) {
+	// Zero-value summary (no records): all numeric columns render as 0.
+	row := SummaryRow("empty", FCTSummary{})
+	if len(row) != 8 {
+		t.Fatalf("row has %d columns, want 8", len(row))
+	}
+	if row[0] != "empty" || row[1] != "0" {
+		t.Fatalf("label/count = %q/%q", row[0], row[1])
+	}
+	for i := 2; i < 8; i++ {
+		if row[i] != "0" {
+			t.Errorf("column %d = %q, want 0", i, row[i])
+		}
+	}
+	// A populated summary renders durations as seconds.
+	s := Summarize([]FlowRecord{{Size: 1000, Start: 0, End: simtime.Time(2 * simtime.Millisecond)}})
+	row = SummaryRow("one", s)
+	if row[1] != "1" {
+		t.Fatalf("count = %q, want 1", row[1])
+	}
+	for i := 2; i < 8; i++ { // single flow: avg and every percentile equal the FCT
+		if row[i] != "0.002" {
+			t.Errorf("column %d = %q, want 0.002", i, row[i])
 		}
 	}
 }

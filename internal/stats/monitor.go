@@ -6,43 +6,52 @@ import (
 )
 
 // QueueMonitor samples an egress queue's depth on a fixed period.
+//
+// Sampling rides the eventq typed-event fast path: the monitor pre-binds
+// one func(any) method value at construction and reschedules itself with
+// CallAfter, so each tick reuses a pooled Event instead of allocating a
+// closure. A long-running monitored simulation therefore stays
+// allocation-flat apart from the Series' amortized backing-array growth
+// (which callers can avoid with Series.Reset between windows).
 type QueueMonitor struct {
 	Queue  *netsim.EgressQueue
 	Period simtime.Duration
 	Series Series
 
 	net     *netsim.Network
+	tickFn  func(any)
 	stopped bool
 }
 
-// MonitorQueue starts sampling q every period until StopAt (zero = forever).
+// MonitorQueue starts sampling q every period until Stop.
 func MonitorQueue(net *netsim.Network, q *netsim.EgressQueue, period simtime.Duration) *QueueMonitor {
 	m := &QueueMonitor{Queue: q, Period: period, net: net}
-	m.schedule()
+	m.tickFn = m.tick
+	m.net.Q.CallAfter(m.Period, m.tickFn, nil)
 	return m
 }
 
-func (m *QueueMonitor) schedule() {
-	m.net.Q.After(m.Period, func() {
-		if m.stopped {
-			return
-		}
-		m.Series.Add(m.net.Now(), float64(m.Queue.Bytes()))
-		m.schedule()
-	})
+func (m *QueueMonitor) tick(any) {
+	if m.stopped {
+		return
+	}
+	m.Series.Add(m.net.Now(), float64(m.Queue.Bytes()))
+	m.net.Q.CallAfter(m.Period, m.tickFn, nil)
 }
 
 // Stop ends sampling.
 func (m *QueueMonitor) Stop() { m.stopped = true }
 
 // ThroughputMeter samples a port's transmitted bytes to produce a link
-// utilization time series in [0,1].
+// utilization time series in [0,1]. Like QueueMonitor, it schedules its
+// ticks on the typed-event fast path with a pre-bound method value.
 type ThroughputMeter struct {
 	Port   *netsim.Port
 	Period simtime.Duration
 	Series Series // utilization per period
 
 	net     *netsim.Network
+	tickFn  func(any)
 	lastTx  uint64
 	stopped bool
 }
@@ -50,21 +59,20 @@ type ThroughputMeter struct {
 // MeterPort starts sampling p's egress utilization every period.
 func MeterPort(net *netsim.Network, p *netsim.Port, period simtime.Duration) *ThroughputMeter {
 	m := &ThroughputMeter{Port: p, Period: period, net: net, lastTx: p.TxBytesTotal}
-	m.schedule()
+	m.tickFn = m.tick
+	m.net.Q.CallAfter(m.Period, m.tickFn, nil)
 	return m
 }
 
-func (m *ThroughputMeter) schedule() {
-	m.net.Q.After(m.Period, func() {
-		if m.stopped {
-			return
-		}
-		cur := m.Port.TxBytesTotal
-		util := m.Port.Utilization(cur-m.lastTx, m.Period)
-		m.lastTx = cur
-		m.Series.Add(m.net.Now(), util)
-		m.schedule()
-	})
+func (m *ThroughputMeter) tick(any) {
+	if m.stopped {
+		return
+	}
+	cur := m.Port.TxBytesTotal
+	util := m.Port.Utilization(cur-m.lastTx, m.Period)
+	m.lastTx = cur
+	m.Series.Add(m.net.Now(), util)
+	m.net.Q.CallAfter(m.Period, m.tickFn, nil)
 }
 
 // Stop ends sampling.

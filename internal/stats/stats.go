@@ -142,6 +142,13 @@ func (s *Series) Add(t simtime.Time, v float64) {
 	s.Values = append(s.Values, v)
 }
 
+// Reset drops all samples but keeps the backing arrays, so a long-lived
+// monitor can be drained window by window without reallocating.
+func (s *Series) Reset() {
+	s.Times = s.Times[:0]
+	s.Values = s.Values[:0]
+}
+
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Values) }
 

@@ -413,6 +413,7 @@ func (f *Flow) onRTO() {
 		return
 	}
 	f.Timeouts++
+	f.net.Tracer.TCPRTO(f.net.Now(), f.Src.ID(), uint64(f.ID), f.rto())
 	f.ssthresh = f.cwnd / 2
 	if f.ssthresh < float64(f.P.MTU) {
 		f.ssthresh = float64(f.P.MTU)
