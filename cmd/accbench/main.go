@@ -10,6 +10,10 @@
 //	accbench -out /tmp/core.json   # write elsewhere
 //	accbench -out -                # print to stdout only
 //	accbench -window 5ms -seed 7   # larger measured window
+//	accbench -trajectory BENCH_trajectory.json
+//	                               # also append a git-SHA-tagged run record
+//	accbench -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                               # pprof profiles of the measured window
 package main
 
 import (
@@ -17,38 +21,140 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"github.com/accnet/acc/internal/perf"
 	"github.com/accnet/acc/internal/simtime"
 )
 
+// trajectoryRun is one entry in the BENCH_trajectory.json array: a CoreResult
+// tagged with enough provenance (commit, date, configuration) to plot engine
+// throughput over the history of the repository.
+type trajectoryRun struct {
+	Commit     string          `json:"commit"`
+	Date       string          `json:"date"` // RFC 3339, UTC
+	Seed       int64           `json:"seed"`
+	WarmupUsec float64         `json:"warmup_usec"`
+	WindowUsec float64         `json:"window_usec"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	Result     perf.CoreResult `json:"result"`
+}
+
+// gitShortSHA returns the current commit's short SHA, or "unknown" when git
+// or the repository is unavailable (e.g. running from an exported tree).
+func gitShortSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// appendTrajectory reads the existing run array (if any), appends run, and
+// rewrites the file. A missing file starts a new trajectory; a corrupt file
+// is an error rather than silent data loss.
+func appendTrajectory(path string, run trajectoryRun) error {
+	var runs []trajectoryRun
+	if buf, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(buf, &runs); err != nil {
+			return fmt.Errorf("existing trajectory %s is not a run array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	runs = append(runs, run)
+	buf, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "accbench:", err)
+	os.Exit(1)
+}
+
 func main() {
 	o := perf.DefaultCoreOptions()
 	var (
-		out    = flag.String("out", "BENCH_core.json", "output path ('-' = stdout only)")
-		seed   = flag.Int64("seed", o.Seed, "simulation seed")
-		window = flag.Duration("window", time.Duration(o.Window), "measured span of virtual time")
-		warmup = flag.Duration("warmup", time.Duration(o.Warmup), "virtual warmup before measuring")
+		out        = flag.String("out", "BENCH_core.json", "output path ('-' = stdout only)")
+		seed       = flag.Int64("seed", o.Seed, "simulation seed")
+		window     = flag.Duration("window", time.Duration(o.Window), "measured span of virtual time")
+		warmup     = flag.Duration("warmup", time.Duration(o.Warmup), "virtual warmup before measuring")
+		trajectory = flag.String("trajectory", "", "append a git-SHA-tagged run record to this JSON array file")
+		commit     = flag.String("commit", "", "commit id for the trajectory record (default: git rev-parse --short HEAD)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measured window to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
 	o.Seed = *seed
 	o.Window = simtime.Duration(*window)
 	o.Warmup = simtime.Duration(*warmup)
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	r := perf.RunCore(o)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "accbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	buf = append(buf, '\n')
 	if *out != "-" {
 		if err := os.WriteFile(*out, buf, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "accbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 	os.Stdout.Write(buf)
+
+	if *trajectory != "" {
+		id := *commit
+		if id == "" {
+			id = gitShortSHA()
+		}
+		run := trajectoryRun{
+			Commit:     id,
+			Date:       time.Now().UTC().Format(time.RFC3339),
+			Seed:       o.Seed,
+			WarmupUsec: o.Warmup.Seconds() * 1e6,
+			WindowUsec: o.Window.Seconds() * 1e6,
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			Result:     r,
+		}
+		if err := appendTrajectory(*trajectory, run); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "accbench: appended run %s to %s\n", id, *trajectory)
+	}
 }

@@ -8,18 +8,28 @@ import (
 	"github.com/accnet/acc/internal/simtime"
 )
 
+// warmRotation drives the queue through more than one full calendar window
+// so every bucket's entry slice has grown to its steady-state capacity. The
+// alloc pins below assert the *steady-state* hot path; the one-time bucket
+// growth during the first rotation is expected and amortized.
+func warmRotation(q *Queue, step simtime.Duration, fn func(any), arg any) {
+	span := simtime.Duration(2 * numBuckets << bucketShift)
+	for d := simtime.Duration(0); d < span; d += step {
+		q.CallAfter(step, fn, arg)
+		q.Step()
+	}
+}
+
 // TestAllocFreeCallPath pins the typed-event fast path at zero allocations:
 // schedule-plus-fire through CallAfter must recycle Event structs from the
-// queue's free list once warmed up. This is the per-packet-hop path (two
-// events per hop), so a single allocation here multiplies into millions per
-// experiment.
+// queue's free list — and calendar bucket storage — once warmed up. This is
+// the per-packet-hop path (two events per hop), so a single allocation here
+// multiplies into millions per experiment.
 func TestAllocFreeCallPath(t *testing.T) {
 	q := New()
 	fn := func(any) {}
 	arg := &struct{ n int }{} // pointer arg boxes into any without allocating
-	// Warm the free list.
-	q.CallAfter(1, fn, arg)
-	q.Run()
+	warmRotation(q, 10, fn, arg)
 
 	avg := testing.AllocsPerRun(1000, func() {
 		q.CallAfter(simtime.Duration(10), fn, arg)
@@ -38,6 +48,11 @@ func TestAllocFreeResetPath(t *testing.T) {
 	fn := func() {}
 	ev := q.ResetAfter(nil, 1, fn) // initial allocation
 	q.Run()
+	// Warm the bucket storage across a full window rotation.
+	for i := 0; i < 40000; i++ {
+		ev = q.ResetAfter(ev, 10, fn)
+		q.Step()
+	}
 
 	avg := testing.AllocsPerRun(1000, func() {
 		ev = q.ResetAfter(ev, 10, fn)
@@ -47,12 +62,44 @@ func TestAllocFreeResetPath(t *testing.T) {
 		t.Fatalf("fired-event ResetAfter allocates %v/op, want 0", avg)
 	}
 
-	// Pending reschedule: the event never fires between resets.
+	// Pending reschedule: the event never fires between resets. The
+	// superseded calendar entry is removed in place, so this cannot grow the
+	// bucket either.
 	avg = testing.AllocsPerRun(1000, func() {
 		ev = q.ResetAfter(ev, 10, fn)
 	})
 	if avg != 0 {
 		t.Fatalf("pending-event ResetAfter allocates %v/op, want 0", avg)
 	}
+	q.Run()
+}
+
+// TestAllocFreeOverflowChurn pins the far-future re-arm pattern (per-ACK RTO
+// reset, ~ms beyond the calendar window) at zero steady-state allocations:
+// superseded entries go stale in the overflow heap and are compacted in
+// place, never by reallocating.
+func TestAllocFreeOverflowChurn(t *testing.T) {
+	q := New()
+	fn := func() {}
+	afn := func(any) {}
+	const rto = 3 * simtime.Millisecond
+	var ev *Event
+	// Warm: enough churn to reach the compaction threshold several times and
+	// settle every backing array, across multiple window rebases.
+	for i := 0; i < 40000; i++ {
+		ev = q.ResetAfter(ev, rto, fn)
+		q.CallAfter(100, afn, nil)
+		q.Step()
+	}
+
+	avg := testing.AllocsPerRun(1000, func() {
+		ev = q.ResetAfter(ev, rto, fn)
+		q.CallAfter(100, afn, nil)
+		q.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("overflow Reset churn allocates %v/op, want 0", avg)
+	}
+	ev.Cancel()
 	q.Run()
 }

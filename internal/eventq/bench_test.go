@@ -15,7 +15,26 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q.After(simtime.Duration(rng.Intn(1000)), func() {})
-		if q.Len() > 1024 {
+		if q.Pending() > 1024 {
+			for q.Step() {
+			}
+		}
+	}
+	for q.Step() {
+	}
+}
+
+// BenchmarkCallAfterAndRun is the same workload on the pooled typed-event
+// fast path — the two-events-per-packet-hop pattern the simulator actually
+// uses, with no closure allocation.
+func BenchmarkCallAfterAndRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q := New()
+	fn := func(any) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.CallAfter(simtime.Duration(rng.Intn(1000)), fn, nil)
+		if q.Pending() > 1024 {
 			for q.Step() {
 			}
 		}
@@ -42,7 +61,24 @@ func BenchmarkTimerChurn(b *testing.B) {
 	q.Run()
 }
 
-func TestHeapStressMixedOps(t *testing.T) {
+// BenchmarkResetChurn measures the in-place re-arm pattern (pacing): the
+// same Event handle rescheduled forever, entries replaced inside the
+// calendar window.
+func BenchmarkResetChurn(b *testing.B) {
+	q := New()
+	fn := func() {}
+	var ev *Event
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev = q.ResetAfter(ev, 1000, fn)
+		if i%4 == 0 {
+			q.Step()
+		}
+	}
+	q.Run()
+}
+
+func TestStressMixedOps(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	q := New()
 	var fired int
@@ -71,7 +107,7 @@ func TestHeapStressMixedOps(t *testing.T) {
 	if fired == 0 || cancelled == 0 {
 		t.Fatalf("stress did not exercise both paths: fired=%d cancelled=%d", fired, cancelled)
 	}
-	if q.Len() != 0 {
-		t.Fatalf("%d events left after Run", q.Len())
+	if q.Len() != 0 || q.Pending() != 0 {
+		t.Fatalf("Len=%d Pending=%d after Run, want 0/0", q.Len(), q.Pending())
 	}
 }

@@ -1,0 +1,219 @@
+package eventq
+
+import (
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// Edge-case pins for the scheduler semantics the calendar rewrite must not
+// change. Where the behavior is subtle (lazy deletion interacting with
+// RunUntil), the test drives the reference heap too, so the assertion is
+// "both implementations agree", not just "the new one does X".
+
+// TestResetAfterFire re-arms an event that already fired and was popped: the
+// same handle must fire again, with the new callback and a fresh sequence
+// number.
+func TestResetAfterFire(t *testing.T) {
+	q := New()
+	var got []int
+	ev := q.At(10, func() { got = append(got, 1) })
+	q.Run()
+	if len(got) != 1 {
+		t.Fatalf("first arm did not fire: %v", got)
+	}
+	seq1 := ev.seq
+	ev = q.Reset(ev, 20, func() { got = append(got, 2) })
+	if ev.seq <= seq1 {
+		t.Fatalf("re-armed seq %d not after fired seq %d", ev.seq, seq1)
+	}
+	q.Run()
+	if len(got) != 2 || got[1] != 2 {
+		t.Fatalf("re-armed event wrong: %v", got)
+	}
+	if q.Now() != 20 {
+		t.Fatalf("clock = %v, want 20", q.Now())
+	}
+}
+
+// TestCancelAfterFire: cancelling an event that already ran is a no-op for
+// scheduling state — Pending is unaffected — though the flag is set, as it
+// always was.
+func TestCancelAfterFire(t *testing.T) {
+	q := New()
+	ran := false
+	ev := q.At(5, func() { ran = true })
+	q.Run()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	if q.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", q.Pending())
+	}
+	ev.Cancel()
+	if q.Pending() != 0 {
+		t.Fatalf("Pending after late Cancel = %d, want 0", q.Pending())
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	// And the handle is still re-armable.
+	ran = false
+	q.Reset(ev, 10, func() { ran = true })
+	q.Run()
+	if !ran {
+		t.Fatal("cancel-then-reset event did not run")
+	}
+}
+
+// TestScheduleExactlyAtNow: t == Now() is legal, fires without advancing the
+// clock, both from outside and from within a running callback.
+func TestScheduleExactlyAtNow(t *testing.T) {
+	q := New()
+	var got []int
+	q.At(10, func() {
+		got = append(got, 1)
+		q.At(q.Now(), func() { got = append(got, 2) }) // nested, same instant
+	})
+	q.Run()
+	q.At(q.Now(), func() { got = append(got, 3) }) // from outside, at the clock
+	q.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("same-instant scheduling wrong: %v", got)
+	}
+	if q.Now() != 10 {
+		t.Fatalf("clock = %v, want 10", q.Now())
+	}
+}
+
+// TestRunUntilCancelledHeadPastDeadline: a cancelled event at the head of
+// the schedule with time beyond the deadline must stay put — RunUntil breaks
+// on its time without reaping it.
+func TestRunUntilCancelledHeadPastDeadline(t *testing.T) {
+	q, r := New(), newRef()
+	qe := q.At(15, func() { t.Fatal("cancelled event ran") })
+	re := r.At(15, func() { t.Fatal("cancelled event ran") })
+	qe.Cancel()
+	re.Cancel()
+	q.RunUntil(10)
+	r.RunUntil(10)
+	if q.Now() != 10 || r.Now() != 10 {
+		t.Fatalf("Now: calendar=%v reference=%v, want 10", q.Now(), r.Now())
+	}
+	if q.Len() != 1 || r.Len() != 1 {
+		t.Fatalf("Len: calendar=%d reference=%d, want 1 (lazy deletion)", q.Len(), r.Len())
+	}
+	if q.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", q.Pending())
+	}
+}
+
+// TestRunUntilCancelledHeadBeforeDeadline pins the other lazy-deletion
+// corner, deliberately: when the head is a cancelled event inside the
+// horizon, RunUntil enters Step, which skips the tombstone and executes the
+// next runnable event even if it lies past the deadline. That overshoot has
+// been the scheduler's behavior since the original heap, replay logs depend
+// on it, and both implementations must agree on it.
+func TestRunUntilCancelledHeadBeforeDeadline(t *testing.T) {
+	check := func(name string, now func() simtime.Time, fired *bool) {
+		if !*fired {
+			t.Errorf("%s: event past deadline not executed (lazy-deletion overshoot semantics changed)", name)
+		}
+		if now() != 50 {
+			t.Errorf("%s: Now = %v, want 50", name, now())
+		}
+	}
+
+	q := New()
+	var qFired bool
+	q.At(5, func() {}).Cancel()
+	q.At(50, func() { qFired = true })
+	q.RunUntil(10)
+	check("calendar", q.Now, &qFired)
+
+	r := newRef()
+	var rFired bool
+	r.At(5, func() {}).Cancel()
+	r.At(50, func() { rFired = true })
+	r.RunUntil(10)
+	check("reference", r.Now, &rFired)
+}
+
+// TestSeqMonotonicAcrossRecycle: pooled events recycled through the free
+// list must take fresh, strictly increasing sequence numbers on every
+// re-schedule, or FIFO tie-breaking (and replay) would silently break.
+func TestSeqMonotonicAcrossRecycle(t *testing.T) {
+	q := New()
+	fn := func(any) {}
+	q.CallAfter(1, fn, nil)
+	q.Run()
+	if len(q.free) != 1 {
+		t.Fatalf("free list has %d events, want 1", len(q.free))
+	}
+	e := q.free[0]
+	last := e.seq
+	for i := 0; i < 5; i++ {
+		q.CallAfter(1, fn, nil)
+		if len(q.free) != 0 {
+			t.Fatal("free list not reused")
+		}
+		if e.seq <= last {
+			t.Fatalf("recycled event seq %d not after %d", e.seq, last)
+		}
+		last = e.seq
+		q.Run()
+	}
+	// Handles churned through Reset advance the same counter.
+	ev := q.ResetAfter(nil, 1, func() {})
+	if ev.seq <= last {
+		t.Fatalf("Reset seq %d not after pooled seq %d", ev.seq, last)
+	}
+	prev := ev.seq
+	ev = q.ResetAfter(ev, 2, func() {})
+	if ev.seq <= prev {
+		t.Fatalf("pending Reset seq %d did not advance past %d", ev.seq, prev)
+	}
+	q.Run()
+}
+
+// TestLenVersusPending pins the documented split: Len counts resident
+// entries including cancelled tombstones, Pending counts events that will
+// actually fire.
+func TestLenVersusPending(t *testing.T) {
+	q := New()
+	a := q.At(10, func() {})
+	q.At(20, func() {})
+	q.At(3_000_000, func() {}) // far future: overflow-resident
+	if q.Len() != 3 || q.Pending() != 3 {
+		t.Fatalf("Len=%d Pending=%d, want 3/3", q.Len(), q.Pending())
+	}
+	a.Cancel()
+	if q.Len() != 3 {
+		t.Fatalf("Len=%d after Cancel, want 3 (lazy deletion)", q.Len())
+	}
+	if q.Pending() != 2 {
+		t.Fatalf("Pending=%d after Cancel, want 2", q.Pending())
+	}
+	q.Run()
+	if q.Len() != 0 || q.Pending() != 0 {
+		t.Fatalf("Len=%d Pending=%d after drain, want 0/0", q.Len(), q.Pending())
+	}
+}
+
+// TestPendingResetKeepsLenBounded: re-arming a pending near-horizon timer
+// replaces its calendar entry in place, so pathological pacing churn cannot
+// grow the schedule.
+func TestPendingResetKeepsLenBounded(t *testing.T) {
+	q := New()
+	var ev *Event
+	for i := 0; i < 10_000; i++ {
+		ev = q.ResetAfter(ev, simtime.Duration(100+i%50), func() {})
+		if q.Len() != 1 {
+			t.Fatalf("iteration %d: Len=%d, want 1 (superseded entry not removed)", i, q.Len())
+		}
+	}
+	if q.Pending() != 1 {
+		t.Fatalf("Pending=%d, want 1", q.Pending())
+	}
+	q.Run()
+}

@@ -4,7 +4,8 @@
 // Events are ordered by virtual time with FIFO tie-breaking (a monotonically
 // increasing sequence number), so two runs with the same seed replay
 // identically. Events may be cancelled, which is implemented by lazy deletion:
-// a cancelled event stays in the heap but its callback is skipped when popped.
+// a cancelled event stays in the schedule but its callback is skipped when
+// reached.
 //
 // Two scheduling paths exist:
 //
@@ -15,12 +16,65 @@
 //     nothing. Their Event structs come from a per-queue free list and are
 //     recycled after firing, so the per-packet hot path (serialize, propagate)
 //     schedules without allocating and without capturing a closure.
+//
+// Internally Queue is a calendar queue (an array of fixed-width time buckets
+// over a rotating window, with a typed min-heap holding far-future overflow),
+// specialized to *Event: no container/heap, no interface-method dispatch, no
+// boxing on the scheduling path. The previous binary-heap scheduler is kept in
+// this package as refQueue (reference.go); differential tests drive both
+// through randomized workloads and assert identical firing order.
 package eventq
 
 import (
-	"container/heap"
-
 	"github.com/accnet/acc/internal/simtime"
+)
+
+// Calendar geometry. Each bucket covers 2^bucketShift nanoseconds of virtual
+// time ("one day"), and the window spans numBuckets consecutive days, so with
+// a 64ns day and 2048 buckets the calendar covers ~131µs ahead of the oldest
+// pending event. At line rate the simulator schedules almost everything
+// (serialization, propagation, pacing, CNP/alpha timers) well inside that
+// horizon; only ms-scale timers (RTOs) live in the overflow heap.
+const (
+	bucketShift = 6
+	numBuckets  = 1 << 11
+	bucketMask  = numBuckets - 1
+
+	// Every bucket starts with this much capacity, carved out of one shared
+	// arena at init. Sparse workloads (a handful of events per bucket-day)
+	// then never grow a bucket slice, so steady-state scheduling stays
+	// allocation-free without a dense warmup. Dense buckets borrow larger
+	// arrays from the queue's slab pool (see clearBucket/growBucket) and
+	// return them when drained.
+	arenaPerBucket = 4
+
+	// Slab size classes step by 4x from the arena capacity: 16, 64, 256, ...
+	// entries. numSlabClasses bounds the largest pooled array at
+	// arenaPerBucket<<(2*numSlabClasses) entries — far beyond any real
+	// bucket-day occupancy.
+	numSlabClasses = 16
+)
+
+// slabClass maps a bucket array capacity to its slab pool index, or -1 for
+// the base arena capacity.
+func slabClass(c int) int {
+	k := -1
+	for c > arenaPerBucket {
+		c >>= 2
+		k++
+	}
+	return k
+}
+
+func dayOf(t simtime.Time) int64 { return int64(t) >> bucketShift }
+
+// Where an event's live (current-seq) entry resides.
+type loc uint8
+
+const (
+	locNone loc = iota // no live entry (unscheduled, fired, or entry consumed)
+	locCal             // in a calendar bucket
+	locOv              // in the overflow heap
 )
 
 // Event is a scheduled callback. It is returned by the scheduling methods so
@@ -35,66 +89,99 @@ type Event struct {
 	afn func(any)
 	arg any
 
+	q *Queue // owning queue, for live-count accounting on Cancel
+
 	cancelled bool
 	pooled    bool // afn fast path: recycle into q.free after firing
-	index     int  // heap index, -1 once popped
+	pending   bool // a live entry for this event is scheduled
+	loc       loc
 }
 
 // At returns the virtual time the event fires at.
 func (e *Event) At() simtime.Time { return e.at }
 
 // Cancel marks the event so its callback will not run. Cancelling an event
-// that already fired or was cancelled is a no-op.
+// that already fired or was cancelled is a no-op. The cancelled entry stays
+// in the schedule and is skipped lazily when its time is reached.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
-		e.fn = nil // release captured state early
-		e.afn = nil
-		e.arg = nil
+	if e == nil {
+		return
 	}
+	if e.pending {
+		e.pending = false
+		e.q.live--
+	}
+	e.cancelled = true
+	e.fn = nil // release captured state early
+	e.afn = nil
+	e.arg = nil
 }
 
 // Cancelled reports whether the event was cancelled before firing.
 func (e *Event) Cancelled() bool { return e.cancelled }
 
-type eventHeap []*Event
+// entry is one scheduled occurrence of an event. Rescheduling (Reset) bumps
+// the event's seq, so an entry whose seq no longer matches its event is
+// stale: an invisible artifact that the queue discards on contact. Stale
+// entries are distinct from cancelled ones — a cancelled event keeps its seq,
+// stays visible to RunUntil's head check, and is skipped only when popped,
+// exactly as the reference heap behaves under lazy deletion.
+type entry struct {
+	at  simtime.Time
+	seq uint64
+	ev  *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (a entry) before(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+func (e entry) stale() bool { return e.seq != e.ev.seq }
+
+// bucket holds the entries of a single day. Entries are appended unsorted;
+// when the cursor reaches the bucket it is sorted once and drained in order
+// from head. While draining (sorted == true), insertions keep the tail
+// ordered via binary insertion, and Reset removes superseded entries in
+// place. Storage starts as a base slice carved from the queue's shared arena
+// and is swapped for a pooled slab array when a day's occupancy outgrows it.
+type bucket struct {
+	ents   []entry
+	base   []entry // arena-backed slice restored on clear
+	head   int
+	sorted bool
 }
 
 // Queue is a discrete-event scheduler. The zero value is ready to use.
 // Queue is not safe for concurrent use; the simulator is single-threaded by
 // design so that runs are reproducible.
 type Queue struct {
-	h         eventHeap
 	seq       uint64
 	now       simtime.Time
 	processed uint64
 	free      []*Event // recycled CallAt events
+
+	buckets []bucket // calendar window, allocated on first insert
+	baseDay int64    // first day covered by the window
+	curDay  int64    // lower bound on the earliest calendar entry's day
+	calQ    int      // entries resident in buckets (incl. cancelled/stale)
+
+	ov      []entry // min-heap of entries beyond the window, (at, seq) order
+	ovStale int     // known-stale overflow entries; triggers compaction
+
+	// slabs[k] is a stack of free bucket arrays of capacity
+	// arenaPerBucket<<(2*(k+1)), recycled between buckets. A drained bucket
+	// returns its oversized array here and reverts to its arena slice, so the
+	// pool's footprint tracks the number of *simultaneously* dense bucket-days
+	// — a stationary quantity that saturates during warmup — rather than each
+	// bucket's all-time occupancy record, which a long run keeps breaking.
+	// That distinction is what makes the steady-state hot path allocation-free
+	// even under bursty arrivals.
+	slabs [numSlabClasses][][]entry
+
+	live int // scheduled, non-cancelled events (see Pending)
 }
 
 // New returns an empty scheduler positioned at the simulation epoch.
@@ -103,9 +190,16 @@ func New() *Queue { return &Queue{} }
 // Now returns the current virtual time.
 func (q *Queue) Now() simtime.Time { return q.now }
 
-// Len returns the number of pending events, including cancelled ones that
-// have not yet been reaped.
-func (q *Queue) Len() int { return len(q.h) }
+// Len returns the number of entries resident in the schedule. This includes
+// lazily-deleted work — cancelled events not yet reaped and superseded
+// entries left behind by Reset — so it measures memory pressure, not work
+// remaining. Use Pending for the number of events that will still fire.
+func (q *Queue) Len() int { return q.calQ + len(q.ov) }
+
+// Pending returns the number of live scheduled events: those that will fire
+// unless cancelled or rescheduled. Cancelled-but-unreaped events are
+// excluded.
+func (q *Queue) Pending() int { return q.live }
 
 // Processed returns the number of events executed so far.
 func (q *Queue) Processed() uint64 { return q.processed }
@@ -116,13 +210,332 @@ func (q *Queue) checkTime(t simtime.Time) {
 	}
 }
 
+// clearBucket resets a drained bucket. An array borrowed from the slab pool
+// goes back for the next dense day to reuse; callers only clear fully-drained
+// buckets whose elements have already been zeroed entry-by-entry, so pooled
+// arrays never pin Events.
+func (q *Queue) clearBucket(b *bucket) {
+	if cap(b.ents) > arenaPerBucket {
+		if k := slabClass(cap(b.ents)); k < numSlabClasses {
+			q.slabs[k] = append(q.slabs[k], b.ents[:0])
+		}
+		b.ents = b.base
+	} else {
+		b.ents = b.ents[:0]
+	}
+	b.head = 0
+	b.sorted = false
+}
+
+// growBucket swaps the bucket onto an array of the next size class (4x),
+// preferring a pooled array over a fresh allocation, and releases the old one.
+func (q *Queue) growBucket(b *bucket) {
+	want := 4 * cap(b.ents)
+	n := len(b.ents)
+	var ents []entry
+	if k := slabClass(want); k >= 0 && k < numSlabClasses && len(q.slabs[k]) > 0 {
+		last := len(q.slabs[k]) - 1
+		ents = q.slabs[k][last][:n]
+		q.slabs[k][last] = nil
+		q.slabs[k] = q.slabs[k][:last]
+	} else {
+		ents = make([]entry, n, want)
+	}
+	copy(ents, b.ents)
+	old := b.ents
+	b.ents = ents
+	for i := range old {
+		old[i] = entry{}
+	}
+	if cap(old) > arenaPerBucket {
+		if k := slabClass(cap(old)); k < numSlabClasses {
+			q.slabs[k] = append(q.slabs[k], old[:0])
+		}
+	}
+}
+
+// bucketPush appends ent, growing capacity in 4x steps through the slab pool.
+func (q *Queue) bucketPush(b *bucket, ent entry) {
+	if len(b.ents) == cap(b.ents) {
+		q.growBucket(b)
+	}
+	b.ents = append(b.ents, ent)
+}
+
+// bucketInsertSorted places ent into the still-pending tail of a draining
+// bucket.
+func (q *Queue) bucketInsertSorted(b *bucket, ent entry) {
+	s := b.ents[b.head:]
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].before(ent) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q.bucketPush(b, entry{})
+	s = b.ents[b.head:]
+	copy(s[lo+1:], s[lo:])
+	s[lo] = ent
+}
+
+// insert places the live entry for ent.ev into the calendar or the overflow
+// heap and records its location on the event.
+func (q *Queue) insert(ent entry) {
+	if q.buckets == nil {
+		q.buckets = make([]bucket, numBuckets)
+		arena := make([]entry, numBuckets*arenaPerBucket)
+		for i := range q.buckets {
+			off := i * arenaPerBucket
+			q.buckets[i].base = arena[off : off : off+arenaPerBucket]
+			q.buckets[i].ents = q.buckets[i].base
+		}
+		q.baseDay = dayOf(q.now)
+		q.curDay = q.baseDay
+	}
+	d := dayOf(ent.at)
+	if d >= q.baseDay+numBuckets {
+		// Beyond the window. If the calendar is empty the window is free to
+		// move: advance it to the present before deciding, so near-future
+		// events keep using the fast path after long idle gaps.
+		if q.calQ == 0 {
+			q.rebase()
+		}
+		if d >= q.baseDay+numBuckets {
+			ent.ev.loc = locOv
+			q.ovPush(ent)
+			return
+		}
+	}
+	if d < q.curDay {
+		q.curDay = d
+	}
+	ent.ev.loc = locCal
+	b := &q.buckets[d&bucketMask]
+	if b.sorted {
+		q.bucketInsertSorted(b, ent)
+	} else {
+		q.bucketPush(b, ent)
+	}
+	q.calQ++
+}
+
+// rebase moves the window start to the current day and pulls newly-eligible
+// entries out of the overflow heap. Only valid while the calendar is empty.
+func (q *Queue) rebase() {
+	q.baseDay = dayOf(q.now)
+	q.curDay = q.baseDay
+	limit := q.baseDay + numBuckets
+	first := true
+	for len(q.ov) > 0 {
+		top := q.ov[0]
+		if dayOf(top.at) >= limit {
+			break
+		}
+		q.ovPop()
+		if top.stale() {
+			q.ovStale--
+			continue
+		}
+		d := dayOf(top.at)
+		top.ev.loc = locCal
+		q.bucketPush(&q.buckets[d&bucketMask], top)
+		q.calQ++
+		if first {
+			// Migration pops in (at, seq) order, so the first live entry has
+			// the minimum day: start the cursor there.
+			q.curDay = d
+			first = false
+		}
+	}
+}
+
+// removeCal deletes the (at, seq) entry from its calendar bucket. Used by
+// Reset so a rescheduled pending timer does not leave a superseded entry
+// behind — the pattern transports hammer (pacing, RTO re-arm) stays
+// allocation- and garbage-free.
+func (q *Queue) removeCal(at simtime.Time, seq uint64) {
+	b := &q.buckets[dayOf(at)&bucketMask]
+	if b.sorted {
+		s := b.ents[b.head:]
+		target := entry{at: at, seq: seq}
+		lo, hi := 0, len(s)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if s[mid].before(target) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(s) && s[lo].seq == seq {
+			copy(s[lo:], s[lo+1:])
+			n := len(b.ents) - 1
+			b.ents[n] = entry{}
+			b.ents = b.ents[:n]
+			q.calQ--
+			if b.head == len(b.ents) {
+				q.clearBucket(b)
+			}
+			return
+		}
+	} else {
+		for i := range b.ents {
+			if b.ents[i].seq == seq {
+				n := len(b.ents) - 1
+				b.ents[i] = b.ents[n]
+				b.ents[n] = entry{}
+				b.ents = b.ents[:n]
+				q.calQ--
+				return
+			}
+		}
+	}
+	panic("eventq: pending entry missing from calendar bucket")
+}
+
+// Overflow heap: a hand-specialized binary min-heap of entry values.
+
+func (q *Queue) ovPush(ent entry) {
+	q.ov = append(q.ov, ent)
+	i := len(q.ov) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.ov[i].before(q.ov[p]) {
+			break
+		}
+		q.ov[i], q.ov[p] = q.ov[p], q.ov[i]
+		i = p
+	}
+}
+
+func (q *Queue) ovPop() {
+	n := len(q.ov) - 1
+	q.ov[0] = q.ov[n]
+	q.ov[n] = entry{}
+	q.ov = q.ov[:n]
+	if n > 0 {
+		q.ovDown(0)
+	}
+}
+
+func (q *Queue) ovDown(i int) {
+	n := len(q.ov)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.ov[r].before(q.ov[l]) {
+			m = r
+		}
+		if !q.ov[m].before(q.ov[i]) {
+			break
+		}
+		q.ov[i], q.ov[m] = q.ov[m], q.ov[i]
+		i = m
+	}
+}
+
+// ovCompact filters stale entries out of the overflow heap in place and
+// re-heapifies. Reset-heavy far-future churn (per-ACK RTO re-arming) strands
+// one stale entry per re-arm; compacting when they reach half the heap keeps
+// the cost amortized O(1) per Reset with no allocation.
+func (q *Queue) ovCompact() {
+	kept := q.ov[:0]
+	for _, ent := range q.ov {
+		if !ent.stale() {
+			kept = append(kept, ent)
+		}
+	}
+	for i := len(kept); i < len(q.ov); i++ {
+		q.ov[i] = entry{}
+	}
+	q.ov = kept
+	q.ovStale = 0
+	for i := len(q.ov)/2 - 1; i >= 0; i-- {
+		q.ovDown(i)
+	}
+}
+
+// peek returns the earliest visible entry — live or cancelled, matching the
+// reference heap's lazy-deletion view — discarding stale entries it meets.
+// It leaves the queue positioned so popMin can remove the returned entry in
+// O(1).
+func (q *Queue) peek() (entry, bool) {
+	for q.calQ > 0 {
+		b := &q.buckets[q.curDay&bucketMask]
+		if b.head == len(b.ents) {
+			if len(b.ents) > 0 {
+				q.clearBucket(b)
+			}
+			q.curDay++
+			continue
+		}
+		if !b.sorted {
+			sortEntries(b.ents)
+			b.sorted = true
+		}
+		ent := b.ents[b.head]
+		if ent.stale() {
+			b.ents[b.head] = entry{}
+			b.head++
+			q.calQ--
+			continue
+		}
+		return ent, true
+	}
+	for len(q.ov) > 0 {
+		top := q.ov[0]
+		if top.stale() {
+			q.ovPop()
+			q.ovStale--
+			continue
+		}
+		return top, true
+	}
+	return entry{}, false
+}
+
+// popMin removes and returns the earliest visible entry. fromOv reports that
+// it came from the overflow heap (the calendar was empty), which is the
+// trigger for advancing the window once the clock catches up.
+func (q *Queue) popMin() (ent entry, fromOv, ok bool) {
+	ent, ok = q.peek()
+	if !ok {
+		return ent, false, false
+	}
+	if q.calQ > 0 {
+		b := &q.buckets[q.curDay&bucketMask]
+		b.ents[b.head] = entry{}
+		b.head++
+		q.calQ--
+		if b.head == len(b.ents) {
+			q.clearBucket(b)
+		}
+		return ent, false, true
+	}
+	q.ovPop()
+	return ent, true, true
+}
+
+// schedule inserts a live entry for e, which must already carry (at, seq).
+func (q *Queue) schedule(e *Event) {
+	e.pending = true
+	q.live++
+	q.insert(entry{at: e.at, seq: e.seq, ev: e})
+}
+
 // At schedules fn to run at virtual time t. Scheduling in the past panics:
 // it always indicates a simulator bug and would otherwise corrupt causality.
 func (q *Queue) At(t simtime.Time, fn func()) *Event {
 	q.checkTime(t)
-	e := &Event{at: t, seq: q.seq, fn: fn}
+	e := &Event{at: t, seq: q.seq, fn: fn, q: q}
 	q.seq++
-	heap.Push(&q.h, e)
+	q.schedule(e)
 	return e
 }
 
@@ -148,7 +561,7 @@ func (q *Queue) CallAt(t simtime.Time, fn func(any), arg any) {
 		q.free[n-1] = nil
 		q.free = q.free[:n-1]
 	} else {
-		e = &Event{}
+		e = &Event{q: q}
 	}
 	e.at = t
 	e.seq = q.seq
@@ -157,7 +570,7 @@ func (q *Queue) CallAt(t simtime.Time, fn func(any), arg any) {
 	e.pooled = true
 	e.cancelled = false
 	q.seq++
-	heap.Push(&q.h, e)
+	q.schedule(e)
 }
 
 // CallAfter schedules fn(arg) to run d after the current time (negative d is
@@ -170,8 +583,8 @@ func (q *Queue) CallAfter(d simtime.Duration, fn func(any), arg any) {
 }
 
 // Reset reschedules ev to fire fn at time t, reusing its allocation: a
-// pending event is moved within the heap, a fired or cancelled-and-popped one
-// is pushed back. A nil ev allocates, so timer owners can uniformly write
+// pending event's entry is replaced, a fired or cancelled-and-popped one is
+// scheduled anew. A nil ev allocates, so timer owners can uniformly write
 //
 //	f.ev = q.Reset(f.ev, t, f.fn)
 //
@@ -184,16 +597,32 @@ func (q *Queue) Reset(ev *Event, t simtime.Time, fn func()) *Event {
 	if ev == nil || ev.pooled {
 		return q.At(t, fn)
 	}
+	wasPending := ev.pending
+	oldLoc := ev.loc
+	oldAt := ev.at
+	oldSeq := ev.seq
 	ev.at = t
 	ev.seq = q.seq
 	ev.fn = fn
 	ev.cancelled = false
 	q.seq++
-	if ev.index >= 0 {
-		heap.Fix(&q.h, ev.index)
-	} else {
-		heap.Push(&q.h, ev)
+	if oldLoc == locCal {
+		// Remove the superseded calendar entry eagerly: near-horizon timer
+		// churn (pacing) would otherwise grow the bucket every re-arm.
+		q.removeCal(oldAt, oldSeq)
+	} else if oldLoc == locOv {
+		// Far-horizon entries are superseded lazily; the heap compacts when
+		// stale entries reach half its size.
+		q.ovStale++
+		if q.ovStale*2 > len(q.ov) && len(q.ov) >= 32 {
+			q.ovCompact()
+		}
 	}
+	if !wasPending {
+		ev.pending = true
+		q.live++
+	}
+	q.insert(entry{at: t, seq: ev.seq, ev: ev})
 	return ev
 }
 
@@ -216,16 +645,29 @@ func (q *Queue) recycle(e *Event) {
 // Step executes the earliest pending event and advances the clock to it.
 // It returns false when no runnable event remains.
 func (q *Queue) Step() bool {
-	for len(q.h) > 0 {
-		e := heap.Pop(&q.h).(*Event)
+	for {
+		ent, fromOv, ok := q.popMin()
+		if !ok {
+			return false
+		}
+		e := ent.ev
+		e.loc = locNone
 		if e.cancelled {
 			if e.pooled {
 				q.recycle(e)
 			}
 			continue
 		}
-		q.now = e.at
+		e.pending = false
+		q.live--
+		q.now = ent.at
 		q.processed++
+		if fromOv && q.calQ == 0 {
+			// The clock just jumped past the calendar window; move the window
+			// to the present so subsequent near-future scheduling stays on
+			// the bucketed fast path.
+			q.rebase()
+		}
 		if e.pooled {
 			fn, arg := e.afn, e.arg
 			q.recycle(e)
@@ -237,16 +679,15 @@ func (q *Queue) Step() bool {
 		}
 		return true
 	}
-	return false
 }
 
 // RunUntil executes events with time <= deadline, then advances the clock to
 // the deadline. Events scheduled during execution are honored if they fall
 // within the horizon.
 func (q *Queue) RunUntil(deadline simtime.Time) {
-	for len(q.h) > 0 {
-		e := q.h[0]
-		if e.at > deadline {
+	for {
+		ent, ok := q.peek()
+		if !ok || ent.at > deadline {
 			break
 		}
 		q.Step()
@@ -259,5 +700,50 @@ func (q *Queue) RunUntil(deadline simtime.Time) {
 // Run executes events until none remain.
 func (q *Queue) Run() {
 	for q.Step() {
+	}
+}
+
+// sortEntries orders a bucket by (at, seq): insertion sort for the common
+// small bucket (appended roughly in time order, so nearly sorted), heapsort
+// above the threshold. In place and allocation-free — sort.Slice would box
+// the slice and a closure on every bucket rotation.
+func sortEntries(s []entry) {
+	if len(s) > 32 {
+		for i := len(s)/2 - 1; i >= 0; i-- {
+			siftDown(s, i, len(s))
+		}
+		for end := len(s) - 1; end > 0; end-- {
+			s[0], s[end] = s[end], s[0]
+			siftDown(s, 0, end)
+		}
+		return
+	}
+	for i := 1; i < len(s); i++ {
+		e := s[i]
+		j := i - 1
+		for j >= 0 && e.before(s[j]) {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = e
+	}
+}
+
+// siftDown restores the max-heap property for s[:n] rooted at i.
+func siftDown(s []entry, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && s[l].before(s[r]) {
+			m = r
+		}
+		if !s[i].before(s[m]) {
+			return
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
 	}
 }

@@ -1,0 +1,224 @@
+// Reference scheduler: the original container/heap implementation, kept as
+// an executable specification of the queue's semantics. The calendar-queue
+// rewrite (eventq.go) must be observationally equivalent — identical firing
+// order, identical clock behavior, identical lazy-deletion quirks — and the
+// differential tests prove it by driving both implementations through the
+// same randomized workloads. This code is intentionally a frozen copy of the
+// pre-calendar Queue; do not "improve" it, or the proof stops proving
+// anything.
+package eventq
+
+import (
+	"container/heap"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// refEvent is the reference scheduler's event handle.
+type refEvent struct {
+	at  simtime.Time
+	seq uint64
+
+	fn  func()
+	afn func(any)
+	arg any
+
+	cancelled bool
+	pooled    bool
+	index     int // heap index, -1 once popped
+}
+
+// At returns the virtual time the event fires at.
+func (e *refEvent) At() simtime.Time { return e.at }
+
+// Cancel marks the event so its callback will not run.
+func (e *refEvent) Cancel() {
+	if e != nil {
+		e.cancelled = true
+		e.fn = nil
+		e.afn = nil
+		e.arg = nil
+	}
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *refEvent) Cancelled() bool { return e.cancelled }
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *refHeap) Push(x any) {
+	e := x.(*refEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// refQueue is the reference binary-heap scheduler.
+type refQueue struct {
+	h         refHeap
+	seq       uint64
+	now       simtime.Time
+	processed uint64
+	free      []*refEvent
+}
+
+func newRef() *refQueue { return &refQueue{} }
+
+func (q *refQueue) Now() simtime.Time { return q.now }
+func (q *refQueue) Len() int          { return len(q.h) }
+func (q *refQueue) Processed() uint64 { return q.processed }
+
+// Pending counts live events by scanning the heap; the reference
+// implementation keeps no counter, which makes this an independent check of
+// Queue.Pending in the differential tests.
+func (q *refQueue) Pending() int {
+	n := 0
+	for _, e := range q.h {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+func (q *refQueue) checkTime(t simtime.Time) {
+	if t < q.now {
+		panic("eventq: scheduling event in the past")
+	}
+}
+
+func (q *refQueue) At(t simtime.Time, fn func()) *refEvent {
+	q.checkTime(t)
+	e := &refEvent{at: t, seq: q.seq, fn: fn}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+func (q *refQueue) After(d simtime.Duration, fn func()) *refEvent {
+	if d < 0 {
+		d = 0
+	}
+	return q.At(q.now.Add(d), fn)
+}
+
+func (q *refQueue) CallAt(t simtime.Time, fn func(any), arg any) {
+	q.checkTime(t)
+	var e *refEvent
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		e = &refEvent{}
+	}
+	e.at = t
+	e.seq = q.seq
+	e.afn = fn
+	e.arg = arg
+	e.pooled = true
+	e.cancelled = false
+	q.seq++
+	heap.Push(&q.h, e)
+}
+
+func (q *refQueue) CallAfter(d simtime.Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	q.CallAt(q.now.Add(d), fn, arg)
+}
+
+func (q *refQueue) Reset(ev *refEvent, t simtime.Time, fn func()) *refEvent {
+	q.checkTime(t)
+	if ev == nil || ev.pooled {
+		return q.At(t, fn)
+	}
+	ev.at = t
+	ev.seq = q.seq
+	ev.fn = fn
+	ev.cancelled = false
+	q.seq++
+	if ev.index >= 0 {
+		heap.Fix(&q.h, ev.index)
+	} else {
+		heap.Push(&q.h, ev)
+	}
+	return ev
+}
+
+func (q *refQueue) ResetAfter(ev *refEvent, d simtime.Duration, fn func()) *refEvent {
+	if d < 0 {
+		d = 0
+	}
+	return q.Reset(ev, q.now.Add(d), fn)
+}
+
+func (q *refQueue) recycle(e *refEvent) {
+	e.afn = nil
+	e.arg = nil
+	q.free = append(q.free, e)
+}
+
+func (q *refQueue) Step() bool {
+	for len(q.h) > 0 {
+		e := heap.Pop(&q.h).(*refEvent)
+		if e.cancelled {
+			if e.pooled {
+				q.recycle(e)
+			}
+			continue
+		}
+		q.now = e.at
+		q.processed++
+		if e.pooled {
+			fn, arg := e.afn, e.arg
+			q.recycle(e)
+			fn(arg)
+		} else {
+			fn := e.fn
+			e.fn = nil
+			fn()
+		}
+		return true
+	}
+	return false
+}
+
+func (q *refQueue) RunUntil(deadline simtime.Time) {
+	for len(q.h) > 0 {
+		e := q.h[0]
+		if e.at > deadline {
+			break
+		}
+		q.Step()
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+}
+
+func (q *refQueue) Run() {
+	for q.Step() {
+	}
+}

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the checked-in golden tables under testdata/")
+
+// TestGoldenTables pins the rendered fig8 and robust-linkfail tables to
+// checked-in byte-exact golden files. TestDeterminismSameSeed only proves a
+// run agrees with itself; this test proves the output also agrees with the
+// output of every previous checkout — the property that lets the event
+// scheduler (or any other engine internals) be rewritten with confidence.
+// Regenerate deliberately with:
+//
+//	go test ./internal/exp -run TestGoldenTables -update-golden
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	o := DefaultOptions()
+	o.Scale = 0.25
+	o.OfflineEpisodes = 4
+	for _, id := range []string{"fig8", "robust-linkfail"} {
+		tables, err := Run(id, o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		got := renderTables(tables)
+		path := filepath.Join("testdata", id+".golden")
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden (regenerate with -update-golden): %v", id, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: output diverged from golden table:\n--- got ---\n%s\n--- want ---\n%s", id, got, want)
+		}
+	}
+}
