@@ -25,13 +25,18 @@ type Injector struct {
 	Net  *netsim.Network
 	Plan Plan
 
-	links   *LinkSet
-	rng     *rand.Rand
-	nominal map[*netsim.Port]simtime.Rate
-	start   simtime.Time
-	started bool
-	stopped bool
-	active  int // faults currently in effect (down or degraded links)
+	links *LinkSet
+	rng   *rand.Rand
+	// nominal remembers each degraded port's pre-fault bandwidth; degraded
+	// keeps the same ports in insertion order so Heal restores them
+	// deterministically (a map range would replay in a different order
+	// each run, reordering any events SetBandwidth-adjacent code emits).
+	nominal  map[*netsim.Port]simtime.Rate
+	degraded []*netsim.Port
+	start    simtime.Time
+	started  bool
+	stopped  bool
+	active   int // faults currently in effect (down or degraded links)
 
 	// Log is every action applied, in application order.
 	Log []Applied
@@ -108,10 +113,11 @@ func (in *Injector) Heal() {
 			}
 		}
 	}
-	for port, bw := range in.nominal {
-		port.SetBandwidth(bw)
+	for _, port := range in.degraded {
+		port.SetBandwidth(in.nominal[port])
 	}
 	in.nominal = make(map[*netsim.Port]simtime.Rate)
+	in.degraded = in.degraded[:0]
 }
 
 // apply performs one timeline event.
@@ -141,6 +147,7 @@ func (in *Injector) degrade(l Link, factor float64) {
 	for _, port := range [2]*netsim.Port{l.A, l.B} {
 		if _, ok := in.nominal[port]; !ok {
 			in.nominal[port] = port.Bandwidth
+			in.degraded = append(in.degraded, port)
 			fresh = true
 		}
 		port.SetBandwidth(in.nominal[port] * simtime.Rate(factor))
@@ -156,6 +163,12 @@ func (in *Injector) restore(l Link) {
 		if bw, ok := in.nominal[port]; ok {
 			port.SetBandwidth(bw)
 			delete(in.nominal, port)
+			for i, p := range in.degraded {
+				if p == port {
+					in.degraded = append(in.degraded[:i], in.degraded[i+1:]...)
+					break
+				}
+			}
 			restored = true
 		}
 	}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Determinism proves the bit-for-bit replay invariant at the source level
+// for the packages listed in Config.DeterministicPkgs:
+//
+//   - no wall clock: time.Now, time.Since, time.Until, time.Sleep,
+//     time.After, time.Tick, time.NewTimer, time.NewTicker, time.AfterFunc
+//     — virtual time comes from simtime/eventq only;
+//   - no global RNG: package-level math/rand functions (rand.Intn,
+//     rand.Float64, rand.Seed, ...) share mutable process-wide state, so
+//     two runs with the same seed diverge. Constructors (rand.New,
+//     rand.NewSource, rand.NewZipf) and methods on a seeded *rand.Rand
+//     are fine;
+//   - no go statements: the simulator is single-threaded by design so
+//     event order is a pure function of the seed;
+//   - no un-annotated range over a map: Go randomizes map iteration
+//     order, so any map range that feeds ordered state (scheduling,
+//     output rows, RNG draws) silently breaks replay. Order-independent
+//     iterations must say so with an //acclint:ignore annotation.
+//
+// Known-concurrent files and functions (the parallel experiment runner,
+// the live obs endpoint) are exempted via Config.Allow.
+type Determinism struct{}
+
+// Name implements Checker.
+func (Determinism) Name() string { return "determinism" }
+
+// wallClockFuncs are the time package functions that read or wait on the
+// wall clock. Pure constructors and conversions (time.Duration, time.Unix,
+// time.Date, time.Parse) are allowed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// Check implements Checker.
+func (Determinism) Check(prog *Program, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+	det := stringSet(cfg.DeterministicPkgs)
+	for _, pkg := range prog.Pkgs {
+		if !det[pkg.ImportPath] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			base := filepath.Base(prog.Fset.Position(file.Pos()).Filename)
+			for _, decl := range file.Decls {
+				fname := ""
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					fname = fd.Name.Name
+				}
+				allowed := func() bool {
+					return cfg.allowed("determinism", pkg.ImportPath, base, fname)
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.GoStmt:
+						if !allowed() {
+							diags = append(diags, Diagnostic{
+								Pos:   prog.Fset.Position(n.Pos()),
+								Check: "determinism",
+								Msg:   "go statement: goroutines break single-threaded replay determinism (allowlist known-concurrent code in the lint config)",
+							})
+						}
+					case *ast.CallExpr:
+						if d, ok := checkDeterministicCall(prog, pkg, n); ok && !allowed() {
+							diags = append(diags, d)
+						}
+					case *ast.RangeStmt:
+						t := pkg.Info.TypeOf(n.X)
+						if t == nil {
+							return true
+						}
+						if _, isMap := t.Underlying().(*types.Map); isMap && !allowed() {
+							diags = append(diags, Diagnostic{
+								Pos:   prog.Fset.Position(n.Pos()),
+								Check: "determinism",
+								Msg: fmt.Sprintf("range over map (%s): iteration order is randomized; sort the keys, or annotate with //acclint:ignore if the loop is order-independent",
+									types.TypeString(t, types.RelativeTo(pkg.Types))),
+							})
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// checkDeterministicCall flags wall-clock reads and global-RNG draws.
+func checkDeterministicCall(prog *Program, pkg *Package, call *ast.CallExpr) (Diagnostic, bool) {
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return Diagnostic{}, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		return Diagnostic{}, false // methods (e.g. seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			return Diagnostic{
+				Pos:   prog.Fset.Position(call.Pos()),
+				Check: "determinism",
+				Msg:   fmt.Sprintf("time.%s reads the wall clock: deterministic code must use virtual time (simtime / eventq.Queue.Now)", fn.Name()),
+			}, true
+		}
+	case "math/rand", "math/rand/v2":
+		if !strings.HasPrefix(fn.Name(), "New") {
+			return Diagnostic{
+				Pos:   prog.Fset.Position(call.Pos()),
+				Check: "determinism",
+				Msg:   fmt.Sprintf("rand.%s draws from the global process-wide RNG: use a seeded *rand.Rand (e.g. netsim.Network.Rng) so replay is a function of the seed", fn.Name()),
+			}, true
+		}
+	}
+	return Diagnostic{}, false
+}

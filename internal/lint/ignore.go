@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignorePrefix introduces an in-source suppression:
+//
+//	//acclint:ignore <check> <reason>
+//
+// The annotation suppresses diagnostics of <check> reported on the same
+// line (trailing comment) or on the line immediately below (comment on
+// its own line). The reason is mandatory — an escape hatch without a
+// recorded justification is how invariants rot. Annotations are audited:
+// naming an unknown check, omitting the reason, or suppressing nothing
+// (a stale ignore) are themselves build-failing diagnostics.
+const ignorePrefix = "//acclint:ignore"
+
+// ignore is one parsed annotation.
+type ignore struct {
+	pos    token.Position
+	check  string
+	reason string
+	used   bool
+}
+
+// scanIgnores collects every acclint annotation in the program's sources.
+func scanIgnores(prog *Program) []*ignore {
+	var igs []*ignore
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+					if !ok {
+						continue
+					}
+					// Require a clean token boundary: "//acclint:ignorex"
+					// is not an annotation.
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue
+					}
+					fields := strings.Fields(rest)
+					ig := &ignore{pos: prog.Fset.Position(c.Pos())}
+					if len(fields) > 0 {
+						ig.check = fields[0]
+						ig.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+					}
+					igs = append(igs, ig)
+				}
+			}
+		}
+	}
+	return igs
+}
+
+// applyIgnores filters diags through the annotations and appends
+// annotation-misuse errors under the pseudo-check "acclint" (which cannot
+// itself be ignored). known is every check name that exists; active is the
+// subset that actually ran — staleness is only decidable for those.
+func applyIgnores(diags []Diagnostic, igs []*ignore, known, active map[string]bool) []Diagnostic {
+	valid := func(ig *ignore) bool {
+		return known[ig.check] && ig.reason != ""
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, ig := range igs {
+			if !valid(ig) {
+				continue
+			}
+			if ig.check != d.Check || ig.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if ig.pos.Line == d.Pos.Line || ig.pos.Line == d.Pos.Line-1 {
+				ig.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	keys := make([]string, 0, len(known))
+	for k := range known {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, ig := range igs {
+		switch {
+		case ig.check == "":
+			out = append(out, Diagnostic{Pos: ig.pos, Check: "acclint",
+				Msg: "malformed annotation: want //acclint:ignore <check> <reason>"})
+		case !known[ig.check]:
+			out = append(out, Diagnostic{Pos: ig.pos, Check: "acclint",
+				Msg: fmt.Sprintf("unknown check %q in //acclint:ignore (known checks: %s)",
+					ig.check, strings.Join(keys, ", "))})
+		case ig.reason == "":
+			out = append(out, Diagnostic{Pos: ig.pos, Check: "acclint",
+				Msg: fmt.Sprintf("//acclint:ignore %s needs a reason: an escape hatch without a recorded justification is not auditable", ig.check)})
+		case !ig.used && active[ig.check]:
+			out = append(out, Diagnostic{Pos: ig.pos, Check: "acclint",
+				Msg: fmt.Sprintf("stale //acclint:ignore: no %s diagnostic on this or the next line — delete the annotation", ig.check)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+// Package determinism_bad seeds one violation of every determinism rule;
+// expected.golden pins the diagnostics.
+package determinism_bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wall-clock reads.
+func wallNow() time.Time                  { return time.Now() }
+func wallSince(t time.Time) time.Duration { return time.Since(t) }
+func wallSleep()                          { time.Sleep(time.Millisecond) }
+
+// Global process-wide RNG draw.
+func globalRoll() int { return rand.Intn(6) }
+
+// Goroutine spawn.
+func spawn(ch chan<- int) {
+	go func() { ch <- 1 }()
+}
+
+// Un-annotated map iteration.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+var _ = []any{wallNow, wallSince, wallSleep, globalRoll, spawn, sum}

@@ -1,0 +1,41 @@
+// Package determinism_ok holds the idioms the determinism checker must
+// stay silent on: seeded RNGs, slice iteration, annotated map ranges, and
+// allowlisted concurrency.
+package determinism_ok
+
+import "math/rand"
+
+// Seeded RNG constructors and methods are allowed.
+func seededRoll(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// Slice iteration is deterministic.
+func sum(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Keyed map access without iteration is fine.
+func lookup(m map[string]int, k string) int { return m[k] }
+
+// An annotated order-independent map range is allowed.
+func drain(m map[string]int) {
+	//acclint:ignore determinism deleting every key is iteration-order-independent
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// allowedSpawn is exempted through the lint config's allowlist (the test
+// registers this function the way the real config registers the parallel
+// experiment runner).
+func allowedSpawn(ch chan<- int) {
+	go func() { ch <- 1 }()
+}
+
+var _ = []any{seededRoll, sum, lookup, drain, allowedSpawn}

@@ -1,0 +1,52 @@
+// Package hotpath_bad mirrors the eventq scheduler's shape and seeds
+// closure-capture and allocation violations on the hot path;
+// expected.golden pins the diagnostics.
+package hotpath_bad
+
+import "fmt"
+
+// Time and Duration mirror simtime's scalar types.
+type Time int64
+
+// Duration is a virtual-time delta.
+type Duration int64
+
+// Queue mirrors eventq.Queue's scheduling surface.
+type Queue struct{}
+
+// At mirrors eventq.Queue.At.
+func (q *Queue) At(t Time, fn func()) {}
+
+// After mirrors eventq.Queue.After.
+func (q *Queue) After(d Duration, fn func()) {}
+
+// CallAt mirrors eventq.Queue.CallAt.
+func (q *Queue) CallAt(t Time, fn func(any), arg any) {}
+
+// CallAfter mirrors eventq.Queue.CallAfter.
+func (q *Queue) CallAfter(d Duration, fn func(any), arg any) {}
+
+// schedule hands closures to the scheduler: every literal is a finding.
+func schedule(q *Queue) {
+	q.At(1, func() {})
+	q.CallAt(2, func(any) {}, nil)
+	q.CallAfter(3, func(any) {}, nil)
+}
+
+// Deliver is the configured hot-path root.
+func Deliver(n int) string {
+	return describe(n)
+}
+
+// describe is reachable from Deliver: the Sprintf and the concatenation
+// are findings.
+func describe(n int) string {
+	s := fmt.Sprintf("pkt %d", n)
+	s += "!"
+	return s
+}
+
+// Cold is not reachable from any root: its Sprintf is allowed.
+func Cold(n int) string { return fmt.Sprintf("cold %d", n) }
+
+var _ = []any{schedule, Deliver, Cold}

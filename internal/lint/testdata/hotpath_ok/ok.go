@@ -1,0 +1,39 @@
+// Package hotpath_ok holds the idioms the hotpath checker must stay
+// silent on: pre-bound method values on the typed fast path, and
+// formatting that is unreachable from the pipeline roots.
+package hotpath_ok
+
+import "fmt"
+
+// Time mirrors simtime's scalar type.
+type Time int64
+
+// Queue mirrors eventq.Queue's scheduling surface.
+type Queue struct{}
+
+// CallAt mirrors eventq.Queue.CallAt.
+func (q *Queue) CallAt(t Time, fn func(any), arg any) {}
+
+// Sender pre-binds its tick method once; call sites pass the bound value,
+// never a function literal.
+type Sender struct {
+	q      *Queue
+	tickFn func(any)
+}
+
+// NewSender wires the pre-bound method value.
+func NewSender(q *Queue) *Sender {
+	s := &Sender{q: q}
+	s.tickFn = s.tick
+	return s
+}
+
+func (s *Sender) tick(any) { s.q.CallAt(1, s.tickFn, nil) }
+
+// Deliver is the configured root; nothing it reaches formats strings.
+func Deliver(n int) int { return n * 2 }
+
+// report is not reachable from Deliver, so its formatting is allowed.
+func report(n int) string { return fmt.Sprintf("n=%d", n) }
+
+var _ = []any{NewSender, Deliver, report}

@@ -1,0 +1,38 @@
+// Package ignore_bad seeds every misuse of the //acclint:ignore escape
+// hatch: unknown check names, missing reasons, stale annotations, and
+// annotations aimed at the wrong check; expected.golden pins both the
+// misuse errors and the diagnostics that survive un-suppressed.
+package ignore_bad
+
+import "time"
+
+// The check name does not exist: the annotation errors and the underlying
+// diagnostic survives.
+func wrongName() time.Time {
+	//acclint:ignore determinsm typo in the check name
+	return time.Now()
+}
+
+// Missing reason: the annotation errors and the diagnostic survives.
+func noReason() time.Time {
+	//acclint:ignore determinism
+	return time.Now()
+}
+
+// Stale: there is nothing on this or the next line to suppress.
+func stale() int {
+	//acclint:ignore determinism this suppresses nothing
+	return 42
+}
+
+// An ignore for a different check never suppresses: the determinism
+// diagnostic survives and the tracerguard annotation is stale.
+func crossCheck() time.Time {
+	//acclint:ignore tracerguard aimed at the wrong check
+	return time.Now()
+}
+
+//acclint:ignore
+func malformed() {}
+
+var _ = []any{wrongName, noReason, stale, crossCheck, malformed}

@@ -1,0 +1,19 @@
+// Package ignore_ok exercises the two placement forms of a well-formed
+// //acclint:ignore annotation; both must fully suppress their diagnostic
+// and neither may be reported stale.
+package ignore_ok
+
+import "time"
+
+// above uses the line-above form.
+func above() time.Time {
+	//acclint:ignore determinism fixture exercising the line-above form
+	return time.Now()
+}
+
+// trailing uses the same-line form.
+func trailing() time.Time {
+	return time.Now() //acclint:ignore determinism fixture exercising the same-line form
+}
+
+var _ = []any{above, trailing}

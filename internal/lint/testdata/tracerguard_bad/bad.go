@@ -1,0 +1,32 @@
+// Package tracerguard_bad seeds nil-receiver-guard violations on a type
+// mirroring obs.Tracer; expected.golden pins the diagnostics.
+package tracerguard_bad
+
+// Tracer mirrors obs.Tracer's hook contract.
+type Tracer struct{ n int }
+
+// Hook lacks the nil-receiver guard entirely.
+func (t *Tracer) Hook(v int) { t.n += v }
+
+// Late guards only after another statement ran first.
+func (t *Tracer) Late(v int) {
+	x := v * 2
+	if t == nil {
+		return
+	}
+	t.n += x
+}
+
+// Wrong guards something other than the receiver.
+func (t *Tracer) Wrong(v int) {
+	if v == 0 {
+		return
+	}
+	t.n += v
+}
+
+// hook is unexported: internal helpers run behind a guarded entry point
+// and need no guard of their own.
+func (t *Tracer) hook(v int) { t.n += v }
+
+var _ = (*Tracer).hook

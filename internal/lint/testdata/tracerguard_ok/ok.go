@@ -1,0 +1,38 @@
+// Package tracerguard_ok holds the accepted guard forms the tracerguard
+// checker must stay silent on.
+package tracerguard_ok
+
+// Tracer mirrors obs.Tracer's hook contract.
+type Tracer struct{ n int }
+
+// Hook begins with the canonical guard.
+func (t *Tracer) Hook(v int) {
+	if t == nil {
+		return
+	}
+	t.n += v
+}
+
+// Enabled's whole body is the nil comparison itself.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Count guards with a valued return.
+func (t *Tracer) Count() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Flipped writes the comparison nil-first; still a guard.
+func (t *Tracer) Flipped(v int) {
+	if nil == t {
+		return
+	}
+	t.n += v
+}
+
+// reset is unexported: no guard required.
+func (t *Tracer) reset() { t.n = 0 }
+
+var _ = (*Tracer).reset

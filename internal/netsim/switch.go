@@ -206,6 +206,7 @@ func (s *Switch) Receive(pkt *Packet, in *Port) {
 
 	ports, ok := s.routes[pkt.Dst]
 	if !ok || len(ports) == 0 {
+		//acclint:ignore hotpath a route miss is a fatal topology bug; the Sprintf runs only on the panic path
 		panic(fmt.Sprintf("netsim: switch %s has no route to host %d", s.name, pkt.Dst))
 	}
 	out := s.ecmpPick(ports, pkt.Flow)

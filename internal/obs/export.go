@@ -63,6 +63,9 @@ func appendJSON(buf []byte, r Record) []byte {
 // WriteJSONL dumps the most recent last records (<=0 = all resident) as
 // JSON Lines, oldest first.
 func (t *Tracer) WriteJSONL(w io.Writer, last int) error {
+	if t == nil {
+		return nil
+	}
 	recs := t.Last(last)
 	bw := bufio.NewWriter(w)
 	var buf []byte

@@ -83,7 +83,8 @@ func (r *Run) Begin(experiment string, seed int64, scale float64, config map[str
 		Seed:       seed,
 		Scale:      scale,
 		Config:     config,
-		StartedAt:  time.Now().UTC(),
+		//acclint:ignore determinism wall-clock run metadata for humans, never read back into simulation state
+		StartedAt: time.Now().UTC(),
 	}
 	r.engines = nil
 }
@@ -108,6 +109,7 @@ func (r *Run) Finish() {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	//acclint:ignore determinism wall-clock run metadata for humans, never read back into simulation state
 	r.man.WallTimeS = time.Since(r.man.StartedAt).Seconds()
 	r.man.Finished = true
 	r.man.Networks = len(r.engines)

@@ -307,10 +307,10 @@ func (t *Tracer) Last(n int) []Record {
 
 // Snapshot returns the tracer's counter totals.
 func (t *Tracer) Snapshot() Counters {
-	c := Counters{ByKind: map[string]uint64{}, Drops: map[string]uint64{}}
 	if t == nil {
-		return c
+		return Counters{ByKind: map[string]uint64{}, Drops: map[string]uint64{}}
 	}
+	c := Counters{ByKind: map[string]uint64{}, Drops: map[string]uint64{}}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	c.Emitted = t.next

@@ -270,6 +270,7 @@ func (f *Flow) senderHandle(pkt *netsim.Packet) {
 		if ts, ok := f.sendTimes[f.sndUna]; ok {
 			f.updateRTT(f.net.Now().Sub(ts))
 		}
+		//acclint:ignore determinism deleting every key below a threshold is iteration-order-independent
 		for s := range f.sendTimes {
 			if s < pkt.Seq {
 				delete(f.sendTimes, s)
