@@ -14,6 +14,11 @@
 //	                               # also append a git-SHA-tagged run record
 //	accbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                               # pprof profiles of the measured window
+//	accbench -shards 4             # sharded-engine benchmark: a 2304-host
+//	                               # fabric on the sequential vs the K-shard
+//	                               # parallel engine, written to -shard-out
+//	accbench -shards 4 -shard-leaves 8 -shard-hosts 16 -shard-spines 4
+//	                               # smaller sharded geometry (CI smoke)
 package main
 
 import (
@@ -93,6 +98,16 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measured window to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
+	so := perf.DefaultShardOptions()
+	var (
+		shards      = flag.Int("shards", 0, "also run the sharded-engine benchmark with this many shards (0 = skip)")
+		shardOut    = flag.String("shard-out", "BENCH_shard.json", "sharded benchmark output path ('-' = stdout only)")
+		shardLeaves = flag.Int("shard-leaves", so.Leaves, "sharded benchmark: leaf switches")
+		shardHosts  = flag.Int("shard-hosts", so.HostsPerLeaf, "sharded benchmark: hosts per leaf")
+		shardSpines = flag.Int("shard-spines", so.Spines, "sharded benchmark: spine switches")
+		shardWindow = flag.Duration("shard-window", time.Duration(so.Window), "sharded benchmark: measured span of virtual time")
+		shardWarmup = flag.Duration("shard-warmup", time.Duration(so.Warmup), "sharded benchmark: virtual warmup before measuring")
+	)
 	flag.Parse()
 	o.Seed = *seed
 	o.Window = simtime.Duration(*window)
@@ -156,5 +171,29 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "accbench: appended run %s to %s\n", id, *trajectory)
+	}
+
+	if *shards > 0 {
+		so.Seed = *seed
+		so.Shards = *shards
+		so.Leaves = *shardLeaves
+		so.HostsPerLeaf = *shardHosts
+		so.Spines = *shardSpines
+		so.Window = simtime.Duration(*shardWindow)
+		so.Warmup = simtime.Duration(*shardWarmup)
+		fmt.Fprintf(os.Stderr, "accbench: sharded benchmark: %d hosts, %d shards, GOMAXPROCS=%d\n",
+			so.Leaves*so.HostsPerLeaf, so.Shards, runtime.GOMAXPROCS(0))
+		sr := perf.RunShardedCore(so)
+		buf, err := json.MarshalIndent(sr, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if *shardOut != "-" {
+			if err := os.WriteFile(*shardOut, buf, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		os.Stdout.Write(buf)
 	}
 }

@@ -43,6 +43,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		scale    = flag.Float64("scale", 1, "duration/fabric scale factor (>=4 restores paper-scale fabrics)")
 		episodes = flag.Int("episodes", 0, "offline pre-training episodes for ACC policies (0 = default)")
+		shards   = flag.Int("shards", 0, "drive experiments at the N-shard barrier cadence (tables are byte-identical to sequential; see DESIGN.md 'Parallel simulation')")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 
 		faultMTBF    = flag.Duration("fault-mtbf", 0, "robust-flap: mean up time between failures (0 = experiment default)")
@@ -70,7 +71,7 @@ func main() {
 	}
 
 	opts := exp.Options{
-		Seed: *seed, Scale: *scale, OfflineEpisodes: *episodes,
+		Seed: *seed, Scale: *scale, OfflineEpisodes: *episodes, Shards: *shards,
 		Faults: exp.FaultOptions{
 			MTBF:     simtime.Duration((*faultMTBF).Nanoseconds()),
 			MTTR:     simtime.Duration((*faultMTTR).Nanoseconds()),

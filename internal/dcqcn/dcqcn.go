@@ -7,6 +7,13 @@
 // fast-recovery / additive-increase / hyper-increase state machine.
 //
 // Flows are rate-paced and lossless under PFC, matching RoCEv2 behaviour.
+//
+// The two halves are separate objects: Flow is the reaction point and lives
+// with the source host's Network; Receiver is the notification point and
+// lives with the destination's. In a sequential run Start wires both onto
+// the same Network; a sharded run (internal/psim) starts each half in the
+// shard that owns its host, and neither half ever touches the other's state
+// — they communicate only through packets on the simulated wire.
 package dcqcn
 
 import (
@@ -61,16 +68,18 @@ func DefaultParams(line simtime.Rate) Params {
 	}
 }
 
-// Flow is one RDMA queue pair transferring Size bytes from Src to Dst.
+// Flow is the reaction point of one RDMA queue pair transferring Size bytes
+// from Src to the host addressed by DstID. It holds sender-side state only;
+// delivery progress lives on the Receiver.
 type Flow struct {
-	ID   netsim.FlowID
-	Src  *netsim.Host
-	Dst  *netsim.Host
-	Size int64
-	P    Params
+	ID    netsim.FlowID
+	Src   *netsim.Host
+	DstID int
+	Size  int64
+	P     Params
 
 	Start simtime.Time
-	End   simtime.Time // zero until complete
+	End   simtime.Time // mirrored from the Receiver by Start's wrapper
 
 	net  *netsim.Network
 	line simtime.Rate
@@ -82,30 +91,52 @@ type Flow struct {
 	incBytes  int64 // bytes since last byte-counter event
 	sent      int64
 	increased bool // rate increase happened since the last cut
+	sentAll   bool // sender handed the last byte to the NIC and tore down
 
 	paceEv  *eventq.Event
 	alphaEv *eventq.Event
 	incEv   *eventq.Event
 
-	// Notification-point state.
-	rcvd    int64
-	lastCNP simtime.Time
-	cnpSent bool
-
 	// Counters for analysis.
-	CNPs       uint64 // CNPs received by the sender
-	RateCuts   uint64
-	MarkedSeen uint64 // CE-marked data packets observed at the receiver
+	CNPs     uint64 // CNPs received by the sender
+	RateCuts uint64
 
-	onDone func(*Flow)
-	done   bool
+	// rx is the paired notification point when both halves share a Network
+	// (sequential Start); nil for split sharded starts.
+	rx *Receiver
 
-	// Pre-bound callbacks, created once in Start: the pacer fires per
+	// Pre-bound callbacks, created once in StartSender: the pacer fires per
 	// packet and the alpha/increase timers fire continuously, so binding
 	// method values here keeps those paths allocation-free.
 	trySendFn func()
 	alphaFn   func()
 	incFn     func()
+}
+
+// Receiver is the notification point of one flow: it counts delivered
+// bytes, converts CE marks into paced CNPs, and detects completion. It is
+// owned by the destination host's Network.
+type Receiver struct {
+	ID    netsim.FlowID
+	Dst   *netsim.Host
+	SrcID int
+	Size  int64
+	P     Params
+
+	Start simtime.Time
+	End   simtime.Time // zero until complete
+
+	net *netsim.Network
+
+	rcvd    int64
+	lastCNP simtime.Time
+	cnpSent bool
+	done    bool
+
+	// MarkedSeen counts CE-marked data packets observed at the receiver.
+	MarkedSeen uint64
+
+	onDone func(*Receiver)
 }
 
 // Rate returns the sender's current injection rate.
@@ -114,18 +145,63 @@ func (f *Flow) Rate() simtime.Rate { return f.rc }
 // Alpha returns the sender's congestion estimate.
 func (f *Flow) Alpha() float64 { return f.alpha }
 
-// Received returns bytes delivered so far.
-func (f *Flow) Received() int64 { return f.rcvd }
+// Sent returns bytes handed to the NIC so far.
+func (f *Flow) Sent() int64 { return f.sent }
 
-// Done reports whether all bytes were delivered.
-func (f *Flow) Done() bool { return f.done }
+// Received returns bytes delivered so far; valid when the flow was started
+// with Start (both halves on one Network). Split sharded senders report 0 —
+// delivery progress belongs to the Receiver in the destination shard.
+func (f *Flow) Received() int64 {
+	if f.rx == nil {
+		return 0
+	}
+	return f.rx.rcvd
+}
+
+// Done reports whether all bytes were delivered (see Received for the
+// split-mode caveat).
+func (f *Flow) Done() bool { return f.rx != nil && f.rx.done }
+
+// MarkedSeen returns the receiver's count of CE-marked data packets (see
+// Received for the split-mode caveat).
+func (f *Flow) MarkedSeen() uint64 {
+	if f.rx == nil {
+		return 0
+	}
+	return f.rx.MarkedSeen
+}
 
 // FCT returns the flow completion time; valid once Done.
 func (f *Flow) FCT() simtime.Duration { return f.End.Sub(f.Start) }
 
-// Start launches a DCQCN flow of size bytes at the current virtual time.
-// onDone, if non-nil, runs when the last byte reaches the receiver.
+// Received returns bytes delivered so far.
+func (r *Receiver) Received() int64 { return r.rcvd }
+
+// Done reports whether all bytes were delivered.
+func (r *Receiver) Done() bool { return r.done }
+
+// FCT returns the flow completion time; valid once Done.
+func (r *Receiver) FCT() simtime.Duration { return r.End.Sub(r.Start) }
+
+// Start launches a DCQCN flow of size bytes at the current virtual time,
+// with both halves on the same Network. onDone, if non-nil, runs when the
+// last byte reaches the receiver.
 func Start(net *netsim.Network, src, dst *netsim.Host, size int64, p Params, onDone func(*Flow)) *Flow {
+	f := StartSender(net, net.NextFlowID(), src, dst.ID(), size, p)
+	f.rx = StartReceiver(f.ID, src.ID(), dst, size, p, func(r *Receiver) {
+		f.End = r.End
+		if onDone != nil {
+			onDone(f)
+		}
+	})
+	return f
+}
+
+// StartSender launches the reaction point only, sending toward the host
+// with node id dstID. Sharded runs start it in the shard owning src, paired
+// with a StartReceiver carrying the same explicit flow id in the shard
+// owning the destination.
+func StartSender(net *netsim.Network, id netsim.FlowID, src *netsim.Host, dstID int, size int64, p Params) *Flow {
 	if p.MTU <= 0 {
 		p.MTU = netsim.DefaultMTU
 	}
@@ -135,27 +211,44 @@ func Start(net *netsim.Network, src, dst *netsim.Host, size int64, p Params, onD
 		init = line
 	}
 	f := &Flow{
-		ID:     net.NextFlowID(),
-		Src:    src,
-		Dst:    dst,
-		Size:   size,
-		P:      p,
-		Start:  net.Now(),
-		net:    net,
-		line:   line,
-		rc:     init,
-		rt:     init,
-		alpha:  1, // per the DCQCN paper, α starts at 1: first CNP halves the rate
-		onDone: onDone,
+		ID:    id,
+		Src:   src,
+		DstID: dstID,
+		Size:  size,
+		P:     p,
+		Start: net.Now(),
+		net:   net,
+		line:  line,
+		rc:    init,
+		rt:    init,
+		alpha: 1, // per the DCQCN paper, α starts at 1: first CNP halves the rate
 	}
 	f.trySendFn = f.trySend
 	f.alphaFn = f.alphaTick
 	f.incFn = f.incTick
-	// Sender side receives CNPs; receiver side receives data.
 	src.Register(f.ID, netsim.EndpointFunc(f.senderHandle))
-	dst.Register(f.ID, netsim.EndpointFunc(f.receiverHandle))
 	f.trySend()
 	return f
+}
+
+// StartReceiver launches the notification point only, on dst's Network.
+// onDone, if non-nil, runs when the last byte arrives.
+func StartReceiver(id netsim.FlowID, srcID int, dst *netsim.Host, size int64, p Params, onDone func(*Receiver)) *Receiver {
+	if p.MTU <= 0 {
+		p.MTU = netsim.DefaultMTU
+	}
+	r := &Receiver{
+		ID:     id,
+		Dst:    dst,
+		SrcID:  srcID,
+		Size:   size,
+		P:      p,
+		Start:  dst.Net().Now(),
+		net:    dst.Net(),
+		onDone: onDone,
+	}
+	dst.Register(r.ID, netsim.EndpointFunc(r.handle))
+	return r
 }
 
 // trySend emits the next data packet if the NIC admits it, then re-arms the
@@ -178,7 +271,7 @@ func (f *Flow) trySend() {
 	pkt.Kind = netsim.KindData
 	pkt.Flow = f.ID
 	pkt.Src = f.Src.ID()
-	pkt.Dst = f.Dst.ID()
+	pkt.Dst = f.DstID
 	pkt.Prio = f.P.Prio
 	pkt.Size = payload + netsim.DataHeaderBytes
 	pkt.Seq = f.sent
@@ -199,6 +292,13 @@ func (f *Flow) trySend() {
 	if f.sent < f.Size {
 		gap := simtime.TxTime(size, f.rc)
 		f.paceEv = f.net.Q.ResetAfter(f.paceEv, gap, f.trySendFn)
+	} else {
+		// Last byte handed to the NIC: the reaction point's remaining work
+		// (rate recovery, alpha decay) can no longer influence any packet,
+		// so tear the sender down now. Late CNPs hit an unregistered flow
+		// and are dropped — physically identical, and it keeps sender
+		// teardown a sender-shard-local act in sharded runs.
+		f.senderTeardown()
 	}
 }
 
@@ -292,51 +392,57 @@ func (f *Flow) increase(timer bool) {
 	}
 }
 
-// receiverHandle is the notification point: it counts delivered bytes,
-// converts CE marks into paced CNPs, and detects completion.
-func (f *Flow) receiverHandle(pkt *netsim.Packet) {
+// handle is the notification point's packet entry: it counts delivered
+// bytes, converts CE marks into paced CNPs, and detects completion.
+func (r *Receiver) handle(pkt *netsim.Packet) {
 	if pkt.Kind != netsim.KindData {
 		return
 	}
-	f.rcvd += int64(pkt.Size - netsim.DataHeaderBytes)
+	r.rcvd += int64(pkt.Size - netsim.DataHeaderBytes)
 
 	if pkt.CE {
-		f.MarkedSeen++
-		now := f.net.Now()
-		if !f.cnpSent || now.Sub(f.lastCNP) >= f.P.CNPInterval {
-			f.cnpSent = true
-			f.lastCNP = now
-			cnp := f.net.AllocPacket()
+		r.MarkedSeen++
+		now := r.net.Now()
+		if !r.cnpSent || now.Sub(r.lastCNP) >= r.P.CNPInterval {
+			r.cnpSent = true
+			r.lastCNP = now
+			cnp := r.net.AllocPacket()
 			cnp.Kind = netsim.KindCNP
-			cnp.Flow = f.ID
-			cnp.Src = f.Dst.ID()
-			cnp.Dst = f.Src.ID()
-			cnp.Prio = f.P.Prio
+			cnp.Flow = r.ID
+			cnp.Src = r.Dst.ID()
+			cnp.Dst = r.SrcID
+			cnp.Prio = r.P.Prio
 			cnp.Size = netsim.CtrlPacketBytes
 			// CNPs ride a protected class in RoCE deployments: model
 			// that by making them ECN-capable, so WRED marks rather
 			// than drops them (nothing reads CE on a CNP).
 			cnp.ECT = true
-			f.Dst.Send(cnp)
+			r.Dst.Send(cnp)
 		}
 	}
 
-	if f.rcvd >= f.Size && !f.done {
-		f.done = true
-		f.End = f.net.Now()
-		f.teardown()
-		if f.onDone != nil {
-			f.onDone(f)
+	if r.rcvd >= r.Size && !r.done {
+		r.done = true
+		r.End = r.net.Now()
+		r.Dst.Unregister(r.ID)
+		if r.onDone != nil {
+			r.onDone(r)
 		}
 	}
 }
 
-// teardown cancels timers and unregisters endpoints.
-func (f *Flow) teardown() {
+// senderTeardown cancels the reaction point's timers and unregisters the
+// sender endpoint. It touches sender-shard state only.
+func (f *Flow) senderTeardown() {
+	f.sentAll = true
 	for _, ev := range []*eventq.Event{f.paceEv, f.alphaEv, f.incEv} {
 		ev.Cancel()
 	}
 	f.paceEv, f.alphaEv, f.incEv = nil, nil, nil
 	f.Src.Unregister(f.ID)
-	f.Dst.Unregister(f.ID)
 }
+
+// SenderDone reports whether the sender handed its last byte to the NIC and
+// tore down (the sender-shard notion of completion; the receiver's Done
+// lands one delivery later).
+func (f *Flow) SenderDone() bool { return f.sentAll }

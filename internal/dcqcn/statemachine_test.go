@@ -110,8 +110,8 @@ func TestCNPPacing(t *testing.T) {
 	if fl.CNPs > maxCNPs {
 		t.Fatalf("%d CNPs in %v exceeds the %v pacing bound (%d)", fl.CNPs, d, p.CNPInterval, maxCNPs)
 	}
-	if fl.MarkedSeen <= fl.CNPs {
-		t.Fatalf("marked packets (%d) should exceed paced CNPs (%d) under full marking", fl.MarkedSeen, fl.CNPs)
+	if fl.MarkedSeen() <= fl.CNPs {
+		t.Fatalf("marked packets (%d) should exceed paced CNPs (%d) under full marking", fl.MarkedSeen(), fl.CNPs)
 	}
 }
 

@@ -111,7 +111,7 @@ func runDifferential(t *testing.T, seed int64, ops int) {
 	nextID := 1
 
 	for op := 0; op < ops; op++ {
-		switch rng.Intn(12) {
+		switch rng.Intn(14) {
 		case 0, 1: // cancellable timer via At
 			d := horizon(rng)
 			id := nextID
@@ -162,6 +162,11 @@ func runDifferential(t *testing.T, seed int64, ops int) {
 			deadline := h.q.Now().Add(d)
 			h.q.RunUntil(deadline)
 			h.r.RunUntil(deadline)
+		case 12, 13: // barrier-window run (psim's conservative-sync pattern)
+			d := simtime.Duration(rng.Intn(100_000))
+			barrier := h.q.Now().Add(d)
+			h.q.RunBefore(barrier)
+			h.r.RunBefore(barrier)
 		}
 		h.check(t, op)
 	}

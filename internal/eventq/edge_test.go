@@ -200,6 +200,107 @@ func TestLenVersusPending(t *testing.T) {
 	}
 }
 
+// TestResetAtBucketDayBoundary pins Reset behavior for events scheduled
+// exactly on a bucket-day boundary — the first nanosecond of a calendar day,
+// where dayOf(t) changes value. PR 4's fuzz corpus never landed a Reset on
+// the seam itself, so the three boundary interactions are pinned here
+// explicitly, each against the reference heap:
+//
+//  1. an event at the *current* day's boundary, rescheduled from within a
+//     callback running at that same instant (the bucket is mid-drain and
+//     sorted, so removeCal takes the binary-search path with the target at
+//     the head of the pending tail);
+//  2. an event at the last covered day's boundary rescheduled across the
+//     window edge into the overflow heap;
+//  3. an event exactly at the first uncovered boundary (overflow-resident)
+//     rescheduled back inside the window.
+func TestResetAtBucketDayBoundary(t *testing.T) {
+	const day = 1 << bucketShift
+
+	// The two implementations return distinct handle types, so the shared
+	// scenario is expressed over function values with any-typed handles.
+	run := func(
+		at func(simtime.Time, func()) any,
+		reset func(any, simtime.Time, func()) any,
+		runAll func(),
+	) []int {
+		var got []int
+		note := func(k int) func() { return func() { got = append(got, k) } }
+
+		// Case 1: current-day boundary, Reset issued at the boundary instant.
+		boundary := simtime.Time(2 * day)
+		var ev1a, ev1b any
+		at(boundary, func() {
+			got = append(got, 1)
+			// Both events are pending at this exact boundary time; push one
+			// later within the same day, the other to the next day's boundary.
+			ev1a = reset(ev1a, boundary.Add(day/2), note(2))
+			ev1b = reset(ev1b, simtime.Time(3*day), note(3))
+		})
+		ev1a = at(boundary, func() { got = append(got, -1) })
+		ev1b = at(boundary, func() { got = append(got, -11) })
+
+		// Case 2: last covered day's boundary -> overflow. With the clock at
+		// 0 the window covers days [0, numBuckets); day numBuckets-1 is the
+		// last covered one.
+		lastCovered := simtime.Time((numBuckets - 1) * day)
+		ev2 := at(lastCovered, note(-2))
+		reset(ev2, simtime.Time((numBuckets+3)*day), note(4))
+
+		// Case 3: first uncovered boundary (overflow) -> back in window.
+		firstBeyond := simtime.Time(numBuckets * day)
+		ev3 := at(firstBeyond, note(-3))
+		reset(ev3, lastCovered.Add(1), note(5))
+
+		runAll()
+		return got
+	}
+
+	want := []int{1, 2, 3, 5, 4}
+	q := New()
+	cal := run(
+		func(t simtime.Time, fn func()) any { return q.At(t, fn) },
+		func(ev any, t simtime.Time, fn func()) any {
+			var e *Event
+			if ev != nil {
+				e = ev.(*Event)
+			}
+			return q.Reset(e, t, fn)
+		},
+		q.Run,
+	)
+	r := newRef()
+	ref := run(
+		func(t simtime.Time, fn func()) any { return r.At(t, fn) },
+		func(ev any, t simtime.Time, fn func()) any {
+			var e *refEvent
+			if ev != nil {
+				e = ev.(*refEvent)
+			}
+			return r.Reset(e, t, fn)
+		},
+		r.Run,
+	)
+	if !intsEqual(cal, want) {
+		t.Errorf("calendar firing order = %v, want %v", cal, want)
+	}
+	if !intsEqual(ref, want) {
+		t.Errorf("reference firing order = %v, want %v", ref, want)
+	}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // TestPendingResetKeepsLenBounded: re-arming a pending near-horizon timer
 // replaces its calendar entry in place, so pathological pacing churn cannot
 // grow the schedule.
@@ -216,4 +317,44 @@ func TestPendingResetKeepsLenBounded(t *testing.T) {
 		t.Fatalf("Pending=%d, want 1", q.Pending())
 	}
 	q.Run()
+}
+
+// TestRunBeforeCancelledHead pins the conservative-sync contract of
+// RunBefore against lazy deletion: a cancelled event sitting at the head of
+// the schedule below the barrier must not let RunBefore execute a live event
+// at or beyond the barrier. Step skips cancelled entries and runs the next
+// live one, so RunBefore has to reap cancelled heads itself — otherwise a
+// sharded run (internal/psim) overshoots its window and cross-shard
+// injection at the barrier panics as scheduling in the past.
+func TestRunBeforeCancelledHead(t *testing.T) {
+	q, r := New(), newRef()
+	var qFired, rFired bool
+	qc := q.At(10, func() { t.Error("cancelled event fired") })
+	rc := r.At(10, func() { t.Error("cancelled event fired (ref)") })
+	q.At(50, func() { qFired = true })
+	r.At(50, func() { rFired = true })
+	qc.Cancel()
+	rc.Cancel()
+
+	q.RunBefore(50)
+	r.RunBefore(50)
+	if qFired || rFired {
+		t.Fatalf("RunBefore(50) executed the barrier event (calendar=%v reference=%v)", qFired, rFired)
+	}
+	if q.Now() != 50 || r.Now() != 50 {
+		t.Fatalf("clock = (%v, %v), want 50", q.Now(), r.Now())
+	}
+	// Scheduling exactly at the barrier must now be legal — this is the
+	// cross-shard injection pattern the parallel engine relies on.
+	q.At(50, func() {})
+	r.At(50, func() {})
+
+	q.RunBefore(51)
+	r.RunBefore(51)
+	if !qFired || !rFired {
+		t.Fatalf("event at the old barrier did not fire (calendar=%v reference=%v)", qFired, rFired)
+	}
+	if q.Pending() != r.Pending() {
+		t.Fatalf("Pending diverged: calendar=%d reference=%d", q.Pending(), r.Pending())
+	}
 }

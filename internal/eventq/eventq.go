@@ -16,6 +16,10 @@
 //     nothing. Their Event structs come from a per-queue free list and are
 //     recycled after firing, so the per-packet hot path (serialize, propagate)
 //     schedules without allocating and without capturing a closure.
+//   - CallAtSeq is the CallAt fast path with an explicit, history-free
+//     sequence key (KeyedSeq) instead of the monotonic counter, used for
+//     packet arrivals so same-nanosecond tie-breaking is identical between
+//     the sequential engine and the sharded one (internal/psim).
 //
 // Internally Queue is a calendar queue (an array of fixed-width time buckets
 // over a rotating window, with a typed min-heap holding far-future overflow),
@@ -582,6 +586,63 @@ func (q *Queue) CallAfter(d simtime.Duration, fn func(any), arg any) {
 	q.CallAt(q.now.Add(d), fn, arg)
 }
 
+// Keyed scheduling.
+//
+// Events scheduled through At/After/CallAt take the queue's monotonic
+// sequence counter, so their same-time tie order reflects *scheduling
+// history* — which events happened to be created first. That is fine inside
+// one queue, but it is exactly what a sharded simulation cannot reproduce:
+// the same packet arrival is scheduled by different code paths (local
+// propagation vs. cross-shard injection at a barrier) in different engines,
+// and history-dependent tie-breaking would let executions diverge at
+// same-nanosecond ties.
+//
+// CallAtSeq therefore accepts an explicit sequence key with the top bit set
+// (see KeyedSeq). The (time, seq) total order then reads: at equal times,
+// every counter-sequenced event fires before every keyed event (the counter
+// never reaches 2^63), and keyed events order among themselves by their
+// key — a function of *what* the event is (which link, which packet), not of
+// when or where it was scheduled. Engines that schedule the same keyed event
+// set at the same times execute identically, regardless of how the events
+// got into the queue.
+const keyedSeqBit = uint64(1) << 63
+
+// KeyedSeq builds an explicit sequence key for CallAtSeq from a stream id
+// and a per-stream sequence number. Keys order by (stream, n); all keyed
+// events at a given time fire after all counter-sequenced events at that
+// time. stream must fit in 31 bits.
+func KeyedSeq(stream uint32, n uint32) uint64 {
+	return keyedSeqBit | uint64(stream)<<32 | uint64(n)
+}
+
+// CallAtSeq schedules fn(arg) at virtual time t on a recycled event carrying
+// the explicit sequence key seq (built with KeyedSeq) instead of the
+// monotonic counter. Two keyed events with the same key must never be
+// pending at once; callers guarantee this by deriving keys from per-stream
+// counters. Like CallAt, the event cannot be cancelled and the path
+// allocates nothing in steady state.
+func (q *Queue) CallAtSeq(t simtime.Time, seq uint64, fn func(any), arg any) {
+	if seq&keyedSeqBit == 0 {
+		panic("eventq: CallAtSeq key missing keyed bit (use KeyedSeq)")
+	}
+	q.checkTime(t)
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		e = &Event{q: q}
+	}
+	e.at = t
+	e.seq = seq
+	e.afn = fn
+	e.arg = arg
+	e.pooled = true
+	e.cancelled = false
+	q.schedule(e)
+}
+
 // Reset reschedules ev to fire fn at time t, reusing its allocation: a
 // pending event's entry is replaced, a fired or cancelled-and-popped one is
 // scheduled anew. A nil ev allocates, so timer owners can uniformly write
@@ -694,6 +755,40 @@ func (q *Queue) RunUntil(deadline simtime.Time) {
 	}
 	if q.now < deadline {
 		q.now = deadline
+	}
+}
+
+// RunBefore executes events with time strictly before the barrier, then
+// advances the clock to the barrier. It is the conservative-sync primitive
+// for sharded simulation (internal/psim): a shard runs its window
+// exclusively of the barrier instant, so that cross-shard arrivals keyed at
+// exactly the barrier can still be injected ahead of the local events there
+// and fire in canonical (time, key) order.
+func (q *Queue) RunBefore(barrier simtime.Time) {
+	for {
+		ent, ok := q.peek()
+		if !ok {
+			break
+		}
+		if ent.ev.cancelled {
+			// Reap the lazily-deleted head here instead of handing it to
+			// Step: Step skips cancelled entries and executes the next live
+			// event, which may lie at or beyond the barrier — overshooting
+			// the window and breaking the conservative-sync contract.
+			q.popMin()
+			ent.ev.loc = locNone
+			if ent.ev.pooled {
+				q.recycle(ent.ev)
+			}
+			continue
+		}
+		if ent.at >= barrier {
+			break
+		}
+		q.Step()
+	}
+	if q.now < barrier {
+		q.now = barrier
 	}
 }
 

@@ -1,0 +1,124 @@
+package eventq
+
+import (
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// TestKeyedSeqOrdering pins the total order CallAtSeq adds to the schedule:
+// at equal times, counter-sequenced events fire before keyed ones, and keyed
+// events order by (stream, n) — independent of the order they were
+// scheduled in. This is the property the sharded engine (internal/psim)
+// relies on for bit-identical merges, so it is pinned directly.
+func TestKeyedSeqOrdering(t *testing.T) {
+	q := New()
+	var got []int
+	note := func(k int) func(any) { return func(any) { got = append(got, k) } }
+
+	// Schedule keyed events first and out of key order; counter events last.
+	q.CallAtSeq(100, KeyedSeq(7, 1), note(13), nil)
+	q.CallAtSeq(100, KeyedSeq(2, 9), note(11), nil)
+	q.CallAtSeq(100, KeyedSeq(2, 3), note(10), nil)
+	q.CallAtSeq(100, KeyedSeq(7, 0), note(12), nil)
+	q.At(100, func() { got = append(got, 1) })
+	q.CallAt(100, note(2), nil)
+	q.Run()
+
+	want := []int{1, 2, 10, 11, 12, 13}
+	if !intsEqual(got, want) {
+		t.Fatalf("firing order = %v, want %v", got, want)
+	}
+	if q.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", q.Now())
+	}
+}
+
+// TestKeyedSeqHistoryFree: two queues that receive the same keyed event set
+// through different scheduling histories (different insertion order, one via
+// a detour through other activity) fire them identically.
+func TestKeyedSeqHistoryFree(t *testing.T) {
+	type arm struct {
+		at     simtime.Time
+		stream uint32
+		n      uint32
+	}
+	arms := []arm{
+		{50, 3, 0}, {50, 1, 2}, {50, 1, 0}, {70, 2, 0}, {50, 2, 5}, {70, 1, 1},
+	}
+	run := func(order []int, churn bool) []uint64 {
+		q := New()
+		var got []uint64
+		if churn {
+			// Unrelated counter-sequenced history before the keyed arms.
+			for i := 0; i < 40; i++ {
+				q.CallAfter(simtime.Duration(i%7), func(any) {}, nil)
+			}
+		}
+		for _, i := range order {
+			a := arms[i]
+			key := KeyedSeq(a.stream, a.n)
+			q.CallAtSeq(a.at, key, func(any) { got = append(got, key) }, nil)
+		}
+		q.Run()
+		return got
+	}
+	base := run([]int{0, 1, 2, 3, 4, 5}, false)
+	perm := run([]int{5, 3, 1, 4, 0, 2}, true)
+	if len(base) != len(arms) || len(perm) != len(arms) {
+		t.Fatalf("fired %d/%d keyed events, want %d", len(base), len(perm), len(arms))
+	}
+	for i := range base {
+		if base[i] != perm[i] {
+			t.Fatalf("keyed order diverged at %d: %x vs %x", i, base[i], perm[i])
+		}
+	}
+}
+
+// TestKeyedSeqOverflow: keyed events beyond the calendar window live in the
+// overflow heap and keep their key order through migration back into the
+// window.
+func TestKeyedSeqOverflow(t *testing.T) {
+	q := New()
+	var got []int
+	far := simtime.Time((numBuckets + 5) << bucketShift)
+	q.CallAtSeq(far, KeyedSeq(1, 1), func(any) { got = append(got, 2) }, nil)
+	q.CallAtSeq(far, KeyedSeq(1, 0), func(any) { got = append(got, 1) }, nil)
+	q.At(far, func() { got = append(got, 0) })
+	q.Run()
+	if !intsEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("overflow keyed order = %v, want [0 1 2]", got)
+	}
+}
+
+// TestKeyedSeqRequiresBit: CallAtSeq refuses keys without the keyed bit —
+// such a key could collide with counter-assigned sequence numbers and
+// silently corrupt tie-breaking.
+func TestKeyedSeqRequiresBit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CallAtSeq accepted a key without the keyed bit")
+		}
+	}()
+	New().CallAtSeq(10, 42, func(any) {}, nil)
+}
+
+// TestKeyedSeqNoAlloc: the keyed path shares the CallAt free list, so
+// steady-state keyed scheduling allocates nothing.
+func TestKeyedSeqNoAlloc(t *testing.T) {
+	q := New()
+	fn := func(any) {}
+	var n uint32
+	// Warm the free list and the calendar arena.
+	q.CallAtSeq(q.Now().Add(1), KeyedSeq(1, n), fn, nil)
+	n++
+	q.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		q.CallAtSeq(q.Now().Add(1), KeyedSeq(1, n), fn, nil)
+		n++
+		q.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("keyed scheduling allocates %.1f per op, want 0", allocs)
+	}
+}

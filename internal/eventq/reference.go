@@ -218,6 +218,28 @@ func (q *refQueue) RunUntil(deadline simtime.Time) {
 	}
 }
 
+func (q *refQueue) RunBefore(barrier simtime.Time) {
+	for len(q.h) > 0 {
+		e := q.h[0]
+		if e.cancelled {
+			// Reap the lazily-deleted head directly — Step would skip it
+			// and run the next live event even past the barrier.
+			heap.Pop(&q.h)
+			if e.pooled {
+				q.recycle(e)
+			}
+			continue
+		}
+		if e.at >= barrier {
+			break
+		}
+		q.Step()
+	}
+	if q.now < barrier {
+		q.now = barrier
+	}
+}
+
 func (q *refQueue) Run() {
 	for q.Step() {
 	}

@@ -36,6 +36,15 @@ type Options struct {
 	// Scale multiplies experiment durations (1 = quick defaults; the paper's
 	// timescales correspond to Scale >> 1).
 	Scale float64
+	// Shards, when > 1, drives every Network the experiment creates in
+	// conservative barrier windows (netsim.SyncWindow at the topology's
+	// cross-shard lookahead) — the cadence the parallel engine
+	// (internal/psim) imposes on a shard. Experiment runners own one
+	// Network per policy arm with workload closures bound to it, so they
+	// execute sequentially either way; the flag proves the windowed driver
+	// is observationally identical (byte-identical golden tables), while
+	// true multi-queue sharding runs in psim and cmd/accbench -shards.
+	Shards int
 	// OfflineEpisodes overrides pre-training length for ACC policies
 	// (0 = package default).
 	OfflineEpisodes int
@@ -172,6 +181,7 @@ func Run(id string, o Options) ([]*Table, error) {
 		return nil, fmt.Errorf("exp: unknown experiment %q (use List)", id)
 	}
 	o.Obs.Begin(id, o.Seed, o.Scale, obsConfig(o))
+	o.Obs.SetShards(o.Shards)
 	tables := e.Run(o)
 	o.Obs.Finish()
 	return tables, nil
@@ -181,6 +191,9 @@ func Run(id string, o Options) ([]*Table, error) {
 // free-form config map.
 func obsConfig(o Options) map[string]string {
 	cfg := map[string]string{}
+	if o.Shards != 0 {
+		cfg["shards"] = fmt.Sprint(o.Shards)
+	}
 	if o.OfflineEpisodes != 0 {
 		cfg["offline_episodes"] = fmt.Sprint(o.OfflineEpisodes)
 	}
@@ -216,6 +229,9 @@ func obsConfig(o Options) map[string]string {
 // every experiment, including ones that build many Networks in parallel.
 func newNet(o Options, seed int64) *netsim.Network {
 	n := netsim.New(seed)
+	if o.Shards > 1 {
+		n.SyncWindow = topo.DefaultConfig().FabDelay
+	}
 	if o.Obs != nil {
 		n.Tracer = o.Obs.Tracer
 		o.Obs.RegisterEngine(n.Q.Processed, n.PacketsAlloced)

@@ -98,6 +98,7 @@ func DefaultConfig() *Config {
 		DeterministicPkgs: internalPkgs(
 			"simtime", "eventq", "netsim", "red", "dcqcn", "tcp", "topo",
 			"workload", "rl", "acc", "exp", "faults", "stats", "obs",
+			"psim",
 		),
 		// Packages whose scheduling must stay on the closure-free typed
 		// fast path (pre-bound method values, pooled events).
@@ -118,15 +119,16 @@ func DefaultConfig() *Config {
 			Module + "/internal/netsim.Port.txDone",
 			Module + "/internal/netsim.Port.arrive",
 			Module + "/internal/netsim.Port.deliver",
+			Module + "/internal/netsim.Port.remoteArrive",
 			Module + "/internal/netsim.Port.SendCtrl",
 			Module + "/internal/netsim.Network.AllocPacket",
 			Module + "/internal/netsim.Network.ReleasePacket",
 			Module + "/internal/tcp.Flow.senderHandle",
-			Module + "/internal/tcp.Flow.receiverHandle",
+			Module + "/internal/tcp.Receiver.handle",
 			Module + "/internal/tcp.Flow.trySend",
 			Module + "/internal/tcp.Flow.onRTO",
 			Module + "/internal/dcqcn.Flow.senderHandle",
-			Module + "/internal/dcqcn.Flow.receiverHandle",
+			Module + "/internal/dcqcn.Receiver.handle",
 			Module + "/internal/dcqcn.Flow.trySend",
 			Module + "/internal/stats.QueueMonitor.tick",
 			Module + "/internal/stats.ThroughputMeter.tick",
@@ -147,6 +149,14 @@ func DefaultConfig() *Config {
 				File:  "server.go",
 				Reason: "the live introspection endpoint serves HTTP while the simulation runs; " +
 					"it is wall-clock concurrent by design and touches no simulation state",
+			},
+			{
+				Check: "determinism",
+				Pkg:   Module + "/internal/psim",
+				File:  "sync.go",
+				Reason: "the conservative-sync coordinator: shard goroutines are barrier-isolated " +
+					"(phases alternate over channels, so no two goroutines touch simulation state " +
+					"concurrently) and TestGOMAXPROCSDeterminism proves interleaving is unobservable",
 			},
 		},
 	}

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"math/rand"
+
 	"github.com/accnet/acc/internal/red"
 	"github.com/accnet/acc/internal/simtime"
 )
@@ -24,6 +26,7 @@ type Host struct {
 	id   int
 	name string
 	net  *Network
+	rng  *rand.Rand // per-node stream keyed on (seed, id); see Network.nodeRng
 	Port *Port
 
 	endpoints map[FlowID]Endpoint
@@ -33,10 +36,19 @@ type Host struct {
 	PauseHooks []func(prio int, paused bool)
 }
 
-// NewHost creates a host and registers it with the network.
+// NewHost creates a host and registers it with the network at the next free
+// id.
 func NewHost(net *Network, name string) *Host {
+	return NewHostAt(net, name, len(net.nodes))
+}
+
+// NewHostAt creates a host registered at an explicit node id, for sharded
+// builds that must reproduce the sequential build's id assignment (node ids
+// double as routing addresses).
+func NewHostAt(net *Network, name string, id int) *Host {
 	h := &Host{name: name, net: net, endpoints: make(map[FlowID]Endpoint)}
-	h.id = net.register(h)
+	h.id = net.registerAt(h, id)
+	h.rng = net.nodeRng(h.id)
 	return h
 }
 
@@ -67,7 +79,7 @@ func (h *Host) Unregister(f FlowID) { delete(h.endpoints, f) }
 // network owns the packet from this point on; a WRED drop at the NIC retires
 // it immediately.
 func (h *Host) Send(pkt *Packet) {
-	if h.Port.Enqueue(pkt, h.net.Rng) == red.Drop {
+	if h.Port.Enqueue(pkt, h.rng) == red.Drop {
 		h.net.ReleasePacket(pkt)
 	}
 }

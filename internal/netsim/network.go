@@ -29,6 +29,16 @@ type Network struct {
 	// internally).
 	Tracer *obs.Tracer
 
+	// SyncWindow, when nonzero, makes RunUntil/RunFor drive the queue in
+	// conservative barrier windows of this width (Queue.RunBefore) — the
+	// exact cadence a shard executes under in the parallel engine
+	// (internal/psim). The queue fires events in (time, seq) order either
+	// way, so results are bit-identical; the field lets a sequential run
+	// mirror a sharded run's clock trajectory (`accsim -shards N`), which
+	// the golden tests use to prove the windowed driver perturbs nothing.
+	SyncWindow simtime.Duration
+
+	seed     int64
 	nodes    []Node
 	nextFlow FlowID
 
@@ -44,25 +54,57 @@ type Network struct {
 // New creates an empty network seeded deterministically.
 func New(seed int64) *Network {
 	return &Network{
-		Q:   eventq.New(),
-		Rng: rand.New(rand.NewSource(seed)),
+		Q:    eventq.New(),
+		Rng:  rand.New(rand.NewSource(seed)),
+		seed: seed,
 	}
 }
 
 // Now returns the current virtual time.
 func (n *Network) Now() simtime.Time { return n.Q.Now() }
 
-// register adds a node and returns its id.
+// Seed returns the seed the network was created with.
+func (n *Network) Seed() int64 { return n.seed }
+
+// register adds a node at the next free id and returns it.
 func (n *Network) register(node Node) int {
-	id := len(n.nodes)
-	n.nodes = append(n.nodes, node)
+	return n.registerAt(node, len(n.nodes))
+}
+
+// registerAt adds a node at an explicit id, growing the registry as needed.
+// Sharded builds (internal/psim) use explicit ids so a node carries the same
+// id — and therefore the same routing address and per-node RNG stream — in
+// every shard layout as in the sequential build. Registering over an
+// occupied id panics.
+func (n *Network) registerAt(node Node, id int) int {
+	for len(n.nodes) <= id {
+		n.nodes = append(n.nodes, nil)
+	}
+	if n.nodes[id] != nil {
+		panic("netsim: node id registered twice")
+	}
+	n.nodes[id] = node
 	return id
 }
 
-// Node returns the node with the given id.
+// nodeRng derives the per-node RNG stream for node id. Keying the stream on
+// (network seed, node id) — never on a shared generator — makes each node's
+// random decisions (WRED admission) a function of that node's own packet
+// sequence alone, so they are identical whether the fabric runs in one event
+// loop or sharded across several.
+func (n *Network) nodeRng(id int) *rand.Rand {
+	z := uint64(n.seed) + 0x9e3779b97f4a7c15*uint64(id+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+}
+
+// Node returns the node with the given id (nil for an unoccupied id in a
+// sparse shard-local registry).
 func (n *Network) Node(id int) Node { return n.nodes[id] }
 
-// Nodes returns all registered nodes.
+// Nodes returns all registered nodes. Shard-local networks are sparse: ids
+// owned by other shards hold nil.
 func (n *Network) Nodes() []Node { return n.nodes }
 
 // PacketsAlloced returns the cumulative number of packets drawn from the
@@ -81,13 +123,42 @@ func (n *Network) NextFlowID() FlowID {
 func Connect(a, b *Port) {
 	a.Peer = b
 	b.Peer = a
+	a.rxStream = arrivalStream(b.Owner.ID(), b.Index)
+	b.rxStream = arrivalStream(a.Owner.ID(), a.Index)
+}
+
+// RemoteEnd is the far end of a link whose peer port lives in another
+// shard's Network. The transmitting shard calls Deliver when a packet
+// finishes serializing; the implementation (internal/psim) buffers the
+// copied packet until the next barrier and injects it into the receiving
+// shard's queue with Port.ScheduleRemoteArrival, preserving at and key.
+type RemoteEnd interface {
+	Deliver(pkt Packet, at simtime.Time, key uint64)
+}
+
+// ConnectRemote wires p as the local end of a cross-shard link. rxNode and
+// rxPort identify the receiving port in the remote shard; they determine the
+// arrival stream key, so a packet crossing this link is merged into the
+// remote queue in exactly the position it would occupy had both ends shared
+// one queue. p keeps Peer == nil.
+func ConnectRemote(p *Port, re RemoteEnd, rxNode, rxPort int) {
+	p.remote = re
+	p.rxStream = arrivalStream(rxNode, rxPort)
 }
 
 // Run executes events until the queue drains.
 func (n *Network) Run() { n.Q.Run() }
 
-// RunUntil executes events up to the deadline.
-func (n *Network) RunUntil(t simtime.Time) { n.Q.RunUntil(t) }
+// RunUntil executes events up to the deadline (in SyncWindow-sized barrier
+// windows when the windowed driver is enabled; see SyncWindow).
+func (n *Network) RunUntil(t simtime.Time) {
+	if n.SyncWindow > 0 {
+		for b := n.Q.Now().Add(n.SyncWindow); b < t; b = b.Add(n.SyncWindow) {
+			n.Q.RunBefore(b)
+		}
+	}
+	n.Q.RunUntil(t)
+}
 
 // RunFor executes events for a span of virtual time from now.
-func (n *Network) RunFor(d simtime.Duration) { n.Q.RunUntil(n.Now().Add(d)) }
+func (n *Network) RunFor(d simtime.Duration) { n.RunUntil(n.Now().Add(d)) }

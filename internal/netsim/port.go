@@ -3,6 +3,7 @@ package netsim
 import (
 	"math/rand"
 
+	"github.com/accnet/acc/internal/eventq"
 	"github.com/accnet/acc/internal/obs"
 	"github.com/accnet/acc/internal/red"
 	"github.com/accnet/acc/internal/simtime"
@@ -122,11 +123,29 @@ type Port struct {
 	rr      int // DWRR round-robin pointer
 	quantum int // base DWRR quantum in bytes (scaled by queue weight)
 
+	// remote, when non-nil, marks the far end of this port's link as living
+	// in another shard: deliver hands finished packets to it (by value)
+	// instead of scheduling a local arrival, and Peer stays nil.
+	remote RemoteEnd
+
+	// rxStream identifies the receiving (node, port) of this transmitter's
+	// link — the arrival stream for eventq.KeyedSeq. txSeq counts packets
+	// delivered on the link; together they give every arrival a key that
+	// depends only on which link carried the packet and how many preceded it,
+	// so same-nanosecond arrival ordering is identical in every engine. txSeq
+	// wraps at 2^32, which only matters if that many packets of one link are
+	// pending at one instant — impossible by orders of magnitude.
+	rxStream uint32
+	txSeq    uint32
+
 	// Pre-bound callbacks for the two per-packet events (serialization done,
 	// propagation done), created once in newPort so the hot path schedules
 	// through eventq's recycled typed events with zero allocation.
-	txDoneFn func(any)
-	arriveFn func(any)
+	// remoteArriveFn is the arrival callback for packets injected by the far
+	// shard of a cross-shard link; it runs on the *receiving* port.
+	txDoneFn       func(any)
+	arriveFn       func(any)
+	remoteArriveFn func(any)
 
 	// Cumulative counters.
 	TxBytesTotal   uint64
@@ -156,6 +175,7 @@ func newPort(net *Network, owner Node, index int, bw simtime.Rate, delay simtime
 	}
 	p.txDoneFn = p.txDone
 	p.arriveFn = p.arrive
+	p.remoteArriveFn = p.remoteArrive
 	for prio, w := range weights {
 		if w <= 0 {
 			continue
@@ -167,6 +187,27 @@ func newPort(net *Network, owner Node, index int, bw simtime.Rate, delay simtime
 	}
 	return p
 }
+
+// Arrival-stream geometry: a stream id packs (receiving node id, receiving
+// port index) into 31 bits, allowing fabrics of up to 2^20 nodes with up to
+// 2^11 ports each — far beyond the 100k-host scale the roadmap targets.
+const (
+	arrivalPortBits = 11
+	arrivalNodeBits = 20
+)
+
+// arrivalStream builds the eventq key stream for packets arriving at the
+// given (node, port).
+func arrivalStream(node, port int) uint32 {
+	if node < 0 || node >= 1<<arrivalNodeBits || port < 0 || port >= 1<<arrivalPortBits {
+		panic("netsim: node id or port index exceeds arrival-stream geometry")
+	}
+	return uint32(node)<<arrivalPortBits | uint32(port)
+}
+
+// Net returns the Network owning this port (for schedulers that must target
+// the queue of the shard a port lives in).
+func (p *Port) Net() *Network { return p.net }
 
 // Queue returns the egress queue serving priority prio, or nil.
 func (p *Port) Queue(prio int) *EgressQueue {
@@ -209,6 +250,20 @@ func (p *Port) SetDown(down bool) {
 		if p.Peer != nil {
 			p.Peer.trySend()
 		}
+	}
+}
+
+// SetEndDown marks only this end of the link up or down, without touching
+// the peer. Sharded runs (internal/psim) use it to apply one link fault as
+// two per-end events — one in each owning shard, at the same virtual time —
+// which is observably identical to SetDown's both-ends write because every
+// down check reads the checking end's own flag. Sequential callers should
+// keep using SetDown.
+func (p *Port) SetEndDown(down bool) {
+	p.down = down
+	p.net.Tracer.LinkState(p.net.Now(), p.Owner.ID(), p.Index, down)
+	if !down {
+		p.trySend()
 	}
 }
 
@@ -371,7 +426,7 @@ func (p *Port) nextPacket() (*EgressQueue, *Packet) {
 // trySend starts serializing the next eligible packet if the transmitter is
 // idle.
 func (p *Port) trySend() {
-	if p.busy || p.Peer == nil || p.down {
+	if p.busy || (p.Peer == nil && p.remote == nil) || p.down {
 		return
 	}
 	q, pkt := p.nextPacket()
@@ -413,9 +468,23 @@ func (p *Port) txDone(arg any) {
 
 // deliver propagates a serialized packet across the link to the peer node.
 // A packet whose propagation ends while the link is down is blackholed
-// (see SetDown).
+// (see SetDown). Arrivals are scheduled with an explicit (link, packet
+// count) key rather than the queue's monotonic counter, so their
+// same-nanosecond tie order is a property of the traffic, not of scheduling
+// history — the invariant that lets a sharded engine merge cross-shard
+// arrivals bit-identically (see eventq.CallAtSeq). When the far end lives in
+// another shard, the packet is handed over by value and the local copy
+// retired.
 func (p *Port) deliver(pkt *Packet) {
-	p.net.Q.CallAfter(p.Delay, p.arriveFn, pkt)
+	at := p.net.Q.Now().Add(p.Delay)
+	key := eventq.KeyedSeq(p.rxStream, p.txSeq)
+	p.txSeq++
+	if p.remote != nil {
+		p.remote.Deliver(*pkt, at, key)
+		p.net.ReleasePacket(pkt)
+		return
+	}
+	p.net.Q.CallAtSeq(at, key, p.arriveFn, pkt)
 }
 
 // arrive runs when a packet finishes propagating: it delivers to the peer
@@ -432,12 +501,40 @@ func (p *Port) arrive(arg any) {
 	peer.Owner.Receive(pkt, peer)
 }
 
+// ScheduleRemoteArrival accepts a packet that finished propagating from a
+// transmitter in another shard: it copies the packet into this (receiving)
+// port's Network pool and schedules the arrival at the original time with
+// the original key. The sync layer guarantees at is still in this shard's
+// future when injection happens (conservative lookahead), so the keyed event
+// lands in exactly the schedule position it holds in a sequential run.
+func (p *Port) ScheduleRemoteArrival(pkt Packet, at simtime.Time, key uint64) {
+	np := p.net.AllocPacket()
+	*np = pkt
+	p.net.Q.CallAtSeq(at, key, p.remoteArriveFn, np)
+}
+
+// remoteArrive is arrive for the receiving end of a cross-shard link. The
+// down check reads this end's flag — equivalent to the sequential
+// transmitter-side check because fault application drives both ends at the
+// same virtual time — and a blackholed packet is counted on this (receiving)
+// port, so fabric-wide blackhole totals match the sequential engine even
+// though the attributed end differs.
+func (p *Port) remoteArrive(arg any) {
+	pkt := arg.(*Packet)
+	if p.down {
+		p.blackhole(pkt)
+		return
+	}
+	p.RxBytesTotal += uint64(pkt.Size)
+	p.Owner.Receive(pkt, p)
+}
+
 // SendCtrl transmits a control frame (PFC pause/resume) to the peer,
 // bypassing the egress queues: PFC frames are generated by the MAC and are
 // not subject to data-plane queuing. Serialization of the 64-byte frame is
 // folded into the propagation delay.
 func (p *Port) SendCtrl(pkt *Packet) {
-	if p.Peer == nil {
+	if p.Peer == nil && p.remote == nil {
 		p.net.ReleasePacket(pkt)
 		return
 	}

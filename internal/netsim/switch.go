@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"github.com/accnet/acc/internal/obs"
 	"github.com/accnet/acc/internal/red"
@@ -52,6 +53,7 @@ type Switch struct {
 	id   int
 	name string
 	net  *Network
+	rng  *rand.Rand // per-node stream keyed on (seed, id); see Network.nodeRng
 
 	Ports []*Port
 
@@ -80,8 +82,15 @@ type Switch struct {
 	RouteBlackholes uint64
 }
 
-// NewSwitch creates a switch node and registers it with the network.
+// NewSwitch creates a switch node and registers it with the network at the
+// next free id.
 func NewSwitch(net *Network, cfg SwitchConfig) *Switch {
+	return NewSwitchAt(net, cfg, len(net.nodes))
+}
+
+// NewSwitchAt creates a switch registered at an explicit node id, for
+// sharded builds that must reproduce the sequential build's id assignment.
+func NewSwitchAt(net *Network, cfg SwitchConfig, id int) *Switch {
 	if cfg.BufferBytes <= 0 {
 		cfg.BufferBytes = 24 * simtime.MB
 	}
@@ -91,7 +100,8 @@ func NewSwitch(net *Network, cfg SwitchConfig) *Switch {
 		cfg:    cfg,
 		routes: make(map[int][]*Port),
 	}
-	s.id = net.register(s)
+	s.id = net.registerAt(s, id)
+	s.rng = net.nodeRng(s.id)
 	return s
 }
 
@@ -232,7 +242,7 @@ func (s *Switch) Receive(pkt *Packet, in *Port) {
 	s.totalUsed += pkt.Size
 
 	wasCE := pkt.CE
-	v := out.Enqueue(pkt, s.net.Rng)
+	v := out.Enqueue(pkt, s.rng)
 	prio := pkt.Prio // normalized by Enqueue; pkt is invalid past a drop
 	if v == red.Drop {
 		// WRED dropped a non-ECT packet: release accounting immediately.

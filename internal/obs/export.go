@@ -29,6 +29,10 @@ func appendJSON(buf []byte, r Record) []byte {
 		buf = append(buf, `,"node":`...)
 		buf = strconv.AppendInt(buf, int64(r.Node), 10)
 	}
+	if r.Shard >= 0 {
+		buf = append(buf, `,"shard":`...)
+		buf = strconv.AppendInt(buf, int64(r.Shard), 10)
+	}
 	if r.Port >= 0 {
 		buf = append(buf, `,"port":`...)
 		buf = strconv.AppendInt(buf, int64(r.Port), 10)

@@ -22,6 +22,7 @@ type Manifest struct {
 
 	// Engine totals summed over every Network the run created.
 	Networks        int    `json:"networks"`
+	Shards          int    `json:"shards,omitempty"` // parallel-engine shard count, 0 for sequential runs
 	EventsProcessed uint64 `json:"events_processed"`
 	PacketsAlloced  uint64 `json:"packets_alloced"`
 
@@ -87,6 +88,17 @@ func (r *Run) Begin(experiment string, seed int64, scale float64, config map[str
 		StartedAt: time.Now().UTC(),
 	}
 	r.engines = nil
+}
+
+// SetShards records the parallel-engine shard count in the manifest. Leave
+// unset (zero) for sequential runs.
+func (r *Run) SetShards(k int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.man.Shards = k
+	r.mu.Unlock()
 }
 
 // RegisterEngine adds one simulation engine's lazy total reporters

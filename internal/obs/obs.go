@@ -113,6 +113,7 @@ type Record struct {
 	Kind   Kind
 	Reason DropReason
 	Node   int32 // node id (switch/host), -1 when not applicable
+	Shard  int32 // owning shard in a sharded run (psim), -1 otherwise
 	Port   int32 // port index within the node, -1 when not applicable
 	Prio   int32 // traffic class, -1 when not applicable
 	Action int32 // ACC template action index (KindAgent/KindWRED)
@@ -141,6 +142,7 @@ type Tracer struct {
 	next     uint64   // total records emitted; ring index is next % cap
 	kinds    [numKinds]uint64
 	dropRsns [numReasons]uint64
+	shardOf  func(node int32) int32 // nil when the run is not sharded
 }
 
 // DefaultRingCap is the trace ring capacity used when none is given.
@@ -158,9 +160,27 @@ func NewTracer(ringCap int) *Tracer {
 // Enabled reports whether tracing is on (the receiver is non-nil).
 func (t *Tracer) Enabled() bool { return t != nil }
 
+// SetShardMap installs the node→shard labeling for a sharded run (psim).
+// The map must be immutable for the tracer's lifetime — shard ownership is
+// fixed at partition time — and must be installed before the run starts;
+// emit stamps each record's Shard under the ring mutex. A nil shardOf (the
+// default) labels every record shard -1.
+func (t *Tracer) SetShardMap(shardOf func(node int32) int32) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.shardOf = shardOf
+	t.mu.Unlock()
+}
+
 // emit appends one record, overwriting the oldest once the ring is full.
 func (t *Tracer) emit(r Record) {
 	t.mu.Lock()
+	r.Shard = -1
+	if t.shardOf != nil && r.Node >= 0 {
+		r.Shard = t.shardOf(r.Node)
+	}
 	if len(t.ring) < cap(t.ring) {
 		t.ring = append(t.ring, r)
 	} else {

@@ -306,3 +306,25 @@ func TestWriteFilesRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestShardLabeling: once the immutable node→shard map is installed,
+// records are stamped with the owning shard; without a map (sequential
+// runs) and for node-less records, Shard reads -1.
+func TestShardLabeling(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Drop(1, DropOverflow, 3, 0, 0, 1, 100)
+	tr.SetShardMap(func(node int32) int32 { return node % 4 })
+	tr.Drop(2, DropOverflow, 5, 0, 0, 1, 100)
+	tr.CNP(3, -1, 7)
+
+	recs := tr.Last(0)
+	if len(recs) != 3 {
+		t.Fatalf("resident %d, want 3", len(recs))
+	}
+	want := []int32{-1, 1, -1}
+	for i, r := range recs {
+		if r.Shard != want[i] {
+			t.Errorf("record %d: shard %d, want %d", i, r.Shard, want[i])
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package perf
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/psim"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/topo"
+)
+
+// ShardOptions sizes the sharded-engine benchmark: the same line-rate
+// all-hosts workload as the core benchmark, but on a fabric an order of
+// magnitude past the paper's 288-host testbed, run once on the sequential
+// engine and once on the K-shard parallel engine (internal/psim).
+type ShardOptions struct {
+	Seed         int64
+	Leaves       int
+	HostsPerLeaf int
+	Spines       int
+	Shards       int
+
+	// Warmup is virtual time run before measuring; Window is the measured
+	// span. Both engines execute the identical schedule, so the event
+	// totals must agree exactly — the benchmark doubles as an equivalence
+	// check at scale.
+	Warmup simtime.Duration
+	Window simtime.Duration
+}
+
+// DefaultShardOptions returns the standard sharded benchmark: a 2304-host
+// fabric (24 leaves x 96 hosts, 12 spines) — 8x the paper's 288-host NS3
+// evaluation — at 4 shards. The window is short because the fabric is
+// enormous: ~150 virtual microseconds at line rate is tens of millions of
+// events.
+func DefaultShardOptions() ShardOptions {
+	return ShardOptions{
+		Seed:         1,
+		Leaves:       24,
+		HostsPerLeaf: 96,
+		Spines:       12,
+		Shards:       4,
+		Warmup:       200 * simtime.Microsecond,
+		Window:       100 * simtime.Microsecond,
+	}
+}
+
+// ShardResult compares one sequential and one sharded execution of the
+// identical workload. Speedup is sequential wall time over sharded wall
+// time for the measured window; MaxProcs records how many OS threads the
+// sharded run could actually use, which bounds the achievable speedup — a
+// single-core machine reports the sync overhead, not the scaling.
+type ShardResult struct {
+	Hosts    int     `json:"hosts"`
+	Shards   int     `json:"shards"`
+	MaxProcs int     `json:"maxprocs"`
+	Speedup  float64 `json:"speedup"`
+
+	Sequential CoreResult `json:"sequential"`
+	Sharded    CoreResult `json:"sharded"`
+}
+
+// shardPlan builds the line-rate workload: every host drives one
+// effectively-infinite DCQCN flow to the same-indexed host on the next
+// leaf, so all traffic crosses the spine layer (and, at K>1, the shard
+// cuts).
+func shardPlan(o ShardOptions, cfg topo.Config) *psim.Plan {
+	p := psim.NewPlan(cfg.HostBW)
+	for l := 0; l < o.Leaves; l++ {
+		for h := 0; h < o.HostsPerLeaf; h++ {
+			p.Flows = append(p.Flows, psim.FlowSpec{
+				Src:  psim.HostRef{Leaf: l, Host: h},
+				Dst:  psim.HostRef{Leaf: (l + 1) % o.Leaves, Host: h},
+				Size: 1 << 40,
+			})
+		}
+	}
+	return p
+}
+
+// measure runs warmup then the measured window via run(horizon), using
+// events(), and returns the window's engine metrics.
+func measure(o ShardOptions, run func(simtime.Time), events func() uint64) CoreResult {
+	run(simtime.Time(0).Add(o.Warmup))
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	ev0 := events()
+	start := time.Now()
+	run(simtime.Time(0).Add(o.Warmup + o.Window))
+	wall := time.Since(start).Seconds()
+	ev := events() - ev0
+	runtime.ReadMemStats(&after)
+
+	r := CoreResult{
+		Events:      ev,
+		VirtualUsec: o.Window.Seconds() * 1e6,
+		WallSeconds: wall,
+	}
+	if ev > 0 {
+		r.EventsPerSec = float64(ev) / wall
+		r.NsPerEvent = wall * 1e9 / float64(ev)
+		r.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(ev)
+		r.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(ev)
+	}
+	return r
+}
+
+// RunShardedCore executes the sharded-engine benchmark: the identical
+// line-rate workload on the sequential engine and on the K-shard parallel
+// engine, reporting both measurements and their wall-clock ratio. The two
+// engines' event totals must match exactly (the schedules are bit-identical
+// by psim's differential proof); a mismatch panics rather than reporting a
+// meaningless speedup.
+func RunShardedCore(o ShardOptions) ShardResult {
+	cfg := topo.DefaultConfig()
+	plan := shardPlan(o, cfg)
+
+	// Sequential baseline: one Network, one queue, one bounded sweep per
+	// phase. RunBefore (horizon-exclusive) rather than RunUntil, to match
+	// the sharded engine's window semantics event-for-event.
+	seqNet := netsim.New(o.Seed)
+	seqFab := topo.LeafSpine(seqNet, o.Leaves, o.HostsPerLeaf, o.Spines, cfg)
+	psim.ApplyToFabric(seqFab, o.HostsPerLeaf, plan)
+	seq := measure(o, seqNet.Q.RunBefore, seqNet.Q.Processed)
+
+	// Sharded engine: K shard-local queues under conservative barrier sync.
+	eng := psim.Build(psim.Config{
+		NLeaf: o.Leaves, HostsPerLeaf: o.HostsPerLeaf, NSpine: o.Spines,
+		Shards: o.Shards, Seed: o.Seed, Topo: cfg,
+	})
+	eng.Apply(plan)
+	shr := measure(o, eng.Run, eng.Processed)
+
+	if shr.Events != seq.Events {
+		panic("perf: sharded engine executed a different event count than the sequential engine")
+	}
+	res := ShardResult{
+		Hosts:      o.Leaves * o.HostsPerLeaf,
+		Shards:     eng.Part.K,
+		MaxProcs:   runtime.GOMAXPROCS(0),
+		Sequential: seq,
+		Sharded:    shr,
+	}
+	if shr.WallSeconds > 0 {
+		res.Speedup = seq.WallSeconds / shr.WallSeconds
+	}
+	return res
+}

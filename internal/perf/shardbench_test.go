@@ -1,0 +1,33 @@
+package perf
+
+import (
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// TestShardedCoreMatchesSequential runs the sharded benchmark on a reduced
+// fabric and checks its built-in equivalence invariant: the K-shard engine
+// must execute exactly as many events as the sequential engine over the
+// same warmup and window (RunShardedCore panics on mismatch), and both
+// engines must actually do work.
+func TestShardedCoreMatchesSequential(t *testing.T) {
+	o := ShardOptions{
+		Seed: 1, Leaves: 6, HostsPerLeaf: 8, Spines: 4, Shards: 4,
+		Warmup: 100 * simtime.Microsecond,
+		Window: 50 * simtime.Microsecond,
+	}
+	r := RunShardedCore(o)
+	if r.Sharded.Events == 0 {
+		t.Fatal("sharded window executed no events")
+	}
+	if r.Sharded.Events != r.Sequential.Events {
+		t.Fatalf("event totals diverged: sharded %d, sequential %d", r.Sharded.Events, r.Sequential.Events)
+	}
+	if r.Hosts != 48 || r.Shards != 4 {
+		t.Fatalf("geometry: %d hosts, %d shards", r.Hosts, r.Shards)
+	}
+	if r.Speedup <= 0 {
+		t.Fatalf("speedup %v not positive", r.Speedup)
+	}
+}

@@ -1,0 +1,33 @@
+package psim
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// TestGOMAXPROCSDeterminism runs one faulted 4-shard workload twice — pinned
+// to a single OS thread, then with full parallelism — and requires
+// bit-identical results. The barrier protocol's only ordering authority is
+// the (time, key) schedule inside each shard plus the coordinator's fixed
+// exchange order, so goroutine interleaving must be unobservable. CI runs
+// this under -race as the determinism gate.
+func TestGOMAXPROCSDeterminism(t *testing.T) {
+	const nLeaf, hostsPerLeaf, nSpine = 4, 4, 3
+	horizon := simtime.Time(0).Add(2 * simtime.Millisecond)
+
+	cfg := testConfig(nLeaf, hostsPerLeaf, nSpine, 4, 99)
+	plan := NewPlan(cfg.Topo.HostBW).
+		RandomFlows(nLeaf, hostsPerLeaf, 24, 32<<10, 200*simtime.Microsecond, true, 321)
+	plan.Flap(LeafSpineLink(0, 1), 250*simtime.Microsecond, 100*simtime.Microsecond,
+		simtime.Time(0).Add(1500*simtime.Microsecond), 99)
+
+	prev := runtime.GOMAXPROCS(1)
+	pinned := runSharded(cfg, plan, horizon)
+	runtime.GOMAXPROCS(4)
+	wide := runSharded(cfg, plan, horizon)
+	runtime.GOMAXPROCS(prev)
+
+	diffResults(t, "GOMAXPROCS 1 vs 4", pinned, wide)
+}

@@ -1,0 +1,69 @@
+package psim
+
+import (
+	"testing"
+
+	"github.com/accnet/acc/internal/obs"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/topo"
+)
+
+// TestShardLabeledTrace proves the obs wiring for sharded runs: a single
+// shared tracer collects records from every shard, each record carrying a
+// node id is stamped with the partition's owning shard, and the manifest
+// reports the shard count plus event totals summed over all shard engines.
+func TestShardLabeledTrace(t *testing.T) {
+	cfg := Config{
+		NLeaf: 4, HostsPerLeaf: 4, NSpine: 3,
+		Shards: 4, Seed: 7,
+		Topo: topo.DefaultConfig(),
+	}
+	horizon := simtime.Time(2 * simtime.Millisecond)
+	plan := NewPlan(cfg.Topo.HostBW).
+		RandomFlows(cfg.NLeaf, cfg.HostsPerLeaf, 24, 200_000, 100*simtime.Microsecond, true, 7).
+		Flap(LeafSpineLink(0, 1), 250*simtime.Microsecond, 100*simtime.Microsecond, horizon, 7)
+
+	e := Build(cfg)
+	run := obs.NewRun(0)
+	run.Begin("psim-obs", cfg.Seed, 1, nil)
+	e.AttachObs(run)
+	e.Apply(plan)
+	e.Run(horizon)
+	run.Finish()
+
+	recs := run.Tracer.Last(0)
+	if len(recs) == 0 {
+		t.Fatal("sharded faulted run emitted no trace records")
+	}
+	labeled := 0
+	for i, r := range recs {
+		switch {
+		case r.Node >= 0:
+			want := int32(e.Part.ShardOfNode(int(r.Node)))
+			if r.Shard != want {
+				t.Fatalf("record %d (%s at node %d): shard %d, want %d",
+					i, r.Kind, r.Node, r.Shard, want)
+			}
+			labeled++
+		case r.Shard != -1:
+			t.Fatalf("record %d (%s) has no node but shard %d", i, r.Kind, r.Shard)
+		}
+	}
+	if labeled == 0 {
+		t.Fatal("no node-bearing records to check shard labels on")
+	}
+
+	m := run.Manifest()
+	if m.Shards != cfg.Shards {
+		t.Fatalf("manifest shards = %d, want %d", m.Shards, cfg.Shards)
+	}
+	if m.Networks != cfg.Shards {
+		t.Fatalf("manifest networks = %d, want %d (one per shard)", m.Networks, cfg.Shards)
+	}
+	if m.EventsProcessed != e.Processed() {
+		t.Fatalf("manifest events %d != engine total %d", m.EventsProcessed, e.Processed())
+	}
+	if m.EventsProcessed == 0 {
+		t.Fatal("manifest recorded zero events for a run that completed flows")
+	}
+}

@@ -1,0 +1,257 @@
+package psim
+
+import (
+	"math/rand"
+
+	"github.com/accnet/acc/internal/dcqcn"
+	"github.com/accnet/acc/internal/faults"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/tcp"
+	"github.com/accnet/acc/internal/topo"
+)
+
+// Transport selects the protocol driving one planned flow.
+type Transport int
+
+const (
+	// TransportDCQCN is the RDMA rate-based transport (internal/dcqcn).
+	TransportDCQCN Transport = iota
+	// TransportTCP is the windowed DCTCP-family transport (internal/tcp).
+	TransportTCP
+)
+
+// HostRef addresses a host by (leaf index, host index under that leaf).
+type HostRef struct{ Leaf, Host int }
+
+// LinkRef addresses a link by tier: for faults.HostLeaf, A is the leaf and B
+// the host index; for faults.LeafSpine, A is the leaf and B the spine.
+type LinkRef struct {
+	Role faults.Role
+	A, B int
+}
+
+// HostLeafLink addresses the link between leaf l and its i'th host.
+func HostLeafLink(l, i int) LinkRef { return LinkRef{Role: faults.HostLeaf, A: l, B: i} }
+
+// LeafSpineLink addresses the link between leaf l and spine s.
+func LeafSpineLink(l, s int) LinkRef { return LinkRef{Role: faults.LeafSpine, A: l, B: s} }
+
+// FlowSpec is one planned transfer. Flow ids are implied by position: the
+// i'th spec is netsim.FlowID(i+1) in every engine.
+type FlowSpec struct {
+	Src, Dst  HostRef
+	Size      int64
+	Start     simtime.Time
+	Transport Transport
+}
+
+// FaultEvent is one per-link state change at an absolute virtual time.
+// Appliers turn it into two netsim.Port.SetEndDown events — one per link
+// end, each on the queue owning that end — so shard layouts and the
+// sequential engine all execute the identical event set.
+type FaultEvent struct {
+	At   simtime.Time
+	Link LinkRef
+	Down bool
+}
+
+// Plan is a precomputed, engine-independent workload and fault trace. All
+// randomness (flow draws, flap expansion) happens at plan-build time from
+// explicit seeds, never during simulation, which is what makes one plan
+// replayable bit-identically across shard layouts. Appliers iterate Flows
+// then Faults in slice order; that order is part of the trace.
+type Plan struct {
+	Flows  []FlowSpec
+	Faults []FaultEvent
+
+	DCQCN dcqcn.Params
+	TCP   tcp.Params
+}
+
+// NewPlan returns an empty plan with transport parameter defaults for the
+// given host line rate.
+func NewPlan(hostBW simtime.Rate) *Plan {
+	return &Plan{DCQCN: dcqcn.DefaultParams(hostBW), TCP: tcp.DefaultParams()}
+}
+
+// RandomFlows appends n random cross-fabric transfers: uniform source and
+// destination hosts (never equal), sizes uniform in [1 KB, maxBytes], start
+// times uniform in [0, spread). When mixTCP is set every third flow runs
+// TCP, exercising the sender/receiver split of both transports.
+func (p *Plan) RandomFlows(nLeaf, hostsPerLeaf, n int, maxBytes int64, spread simtime.Duration, mixTCP bool, seed int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	if maxBytes < 1024 {
+		maxBytes = 1024
+	}
+	for i := 0; i < n; i++ {
+		src := HostRef{rng.Intn(nLeaf), rng.Intn(hostsPerLeaf)}
+		dst := src
+		for dst == src {
+			dst = HostRef{rng.Intn(nLeaf), rng.Intn(hostsPerLeaf)}
+		}
+		fs := FlowSpec{
+			Src:   src,
+			Dst:   dst,
+			Size:  1024 + rng.Int63n(maxBytes-1023),
+			Start: simtime.Time(rng.Int63n(int64(spread) + 1)),
+		}
+		if mixTCP && i%3 == 2 {
+			fs.Transport = TransportTCP
+		}
+		p.Flows = append(p.Flows, fs)
+	}
+	return p
+}
+
+// DownUp appends a failure and its repair on one link.
+func (p *Plan) DownUp(link LinkRef, downAt, upAt simtime.Time) *Plan {
+	p.Faults = append(p.Faults,
+		FaultEvent{At: downAt, Link: link, Down: true},
+		FaultEvent{At: upAt, Link: link, Down: false})
+	return p
+}
+
+// Flap expands a memoryless link-flap process (exponential up times with
+// mean MTBF, exponential down times with mean MTTR) into explicit events up
+// to the horizon. Failures stop at the horizon; the final repair always
+// lands, so the link ends up. This is the offline twin of
+// faults.Flap/Injector.scheduleFlap — the draws happen here, at plan time,
+// from the plan's own stream.
+func (p *Plan) Flap(link LinkRef, mtbf, mttr simtime.Duration, horizon simtime.Time, seed int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	t := simtime.Time(0)
+	for {
+		t = t.Add(simtime.Duration(rng.ExpFloat64() * float64(mtbf)))
+		if t >= horizon {
+			return p
+		}
+		down := simtime.Duration(rng.ExpFloat64() * float64(mttr))
+		p.DownUp(link, t, t.Add(down))
+		t = t.Add(down)
+	}
+}
+
+// Applied tracks the live transport objects and results of one plan
+// instantiation. Slices are indexed by flow position in the plan; entries
+// for the other transport are nil.
+type Applied struct {
+	Plan *Plan
+
+	DCQCNSend []*dcqcn.Flow
+	DCQCNRecv []*dcqcn.Receiver
+	TCPSend   []*tcp.Flow
+	TCPRecv   []*tcp.Receiver
+
+	// End[i] is the receiver completion time of flow i (zero while
+	// incomplete). The bit-identity contract compares these across layouts.
+	End []simtime.Time
+}
+
+// FCT returns flow i's completion time, or (0, false) while incomplete.
+func (a *Applied) FCT(i int) (simtime.Duration, bool) {
+	if a.End[i] == 0 {
+		return 0, false
+	}
+	return a.End[i].Sub(a.Plan.Flows[i].Start), true
+}
+
+// DoneCount returns how many flows have completed.
+func (a *Applied) DoneCount() int {
+	n := 0
+	for _, e := range a.End {
+		if e != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// applyPlan schedules every planned flow and fault onto the queues owning
+// the respective endpoints. host resolves a HostRef; link resolves a LinkRef
+// to its two port ends (A-side, B-side). Scheduling happens immediately, in
+// plan order, flows before faults — the same relative order on every queue
+// in every layout, so same-instant ties resolve identically everywhere.
+func applyPlan(p *Plan, host func(HostRef) *netsim.Host, link func(LinkRef) (aEnd, bEnd *netsim.Port)) *Applied {
+	n := len(p.Flows)
+	res := &Applied{
+		Plan:      p,
+		DCQCNSend: make([]*dcqcn.Flow, n),
+		DCQCNRecv: make([]*dcqcn.Receiver, n),
+		TCPSend:   make([]*tcp.Flow, n),
+		TCPRecv:   make([]*tcp.Receiver, n),
+		End:       make([]simtime.Time, n),
+	}
+	for i, fs := range p.Flows {
+		id := netsim.FlowID(i + 1)
+		src, dst := host(fs.Src), host(fs.Dst)
+		// Receiver first, then sender: both fire at fs.Start, and keeping
+		// one fixed relative order on a shared queue keeps the sequential
+		// and sharded schedules aligned.
+		switch fs.Transport {
+		case TransportDCQCN:
+			dst.Net().Q.At(fs.Start, func() {
+				res.DCQCNRecv[i] = dcqcn.StartReceiver(id, src.ID(), dst, fs.Size, p.DCQCN, func(r *dcqcn.Receiver) {
+					res.End[i] = r.End
+				})
+			})
+			src.Net().Q.At(fs.Start, func() {
+				res.DCQCNSend[i] = dcqcn.StartSender(src.Net(), id, src, dst.ID(), fs.Size, p.DCQCN)
+			})
+		case TransportTCP:
+			dst.Net().Q.At(fs.Start, func() {
+				res.TCPRecv[i] = tcp.StartReceiver(id, src.ID(), dst, fs.Size, p.TCP, func(r *tcp.Receiver) {
+					res.End[i] = r.End
+				})
+			})
+			src.Net().Q.At(fs.Start, func() {
+				res.TCPSend[i] = tcp.StartSender(src.Net(), id, src, dst.ID(), fs.Size, p.TCP)
+			})
+		}
+	}
+	for _, fe := range p.Faults {
+		aEnd, bEnd := link(fe.Link)
+		down := fe.Down
+		aEnd.Net().Q.At(fe.At, func() { aEnd.SetEndDown(down) })
+		bEnd.Net().Q.At(fe.At, func() { bEnd.SetEndDown(down) })
+	}
+	return res
+}
+
+// Apply instantiates the plan on the sharded engine: senders start in the
+// shard owning the source host, receivers in the shard owning the
+// destination, fault ends on the shards owning each port.
+func (e *Engine) Apply(p *Plan) *Applied {
+	return applyPlan(p,
+		func(r HostRef) *netsim.Host { return e.Hosts[r.Leaf][r.Host] },
+		func(l LinkRef) (*netsim.Port, *netsim.Port) {
+			switch l.Role {
+			case faults.HostLeaf:
+				return e.HostUp[l.A][l.B], e.LeafDown[l.A][l.B]
+			case faults.LeafSpine:
+				return e.LeafUp[l.A][l.B], e.SpineDown[l.B][l.A]
+			}
+			panic("psim: unsupported link role in plan")
+		})
+}
+
+// ApplyToFabric instantiates the same plan on a sequential topo.LeafSpine
+// build — the single-threaded baseline of the differential tests. It
+// schedules the identical event set (including per-end SetEndDown pairs for
+// faults) so a sequential run driven by RunWindows is comparable
+// bit-for-bit.
+func ApplyToFabric(fab *topo.Fabric, hostsPerLeaf int, p *Plan) *Applied {
+	return applyPlan(p,
+		func(r HostRef) *netsim.Host { return fab.HostsAt[r.Leaf][r.Host] },
+		func(l LinkRef) (*netsim.Port, *netsim.Port) {
+			switch l.Role {
+			case faults.HostLeaf:
+				hp := fab.HostsAt[l.A][l.B].Port
+				return hp, hp.Peer
+			case faults.LeafSpine:
+				up := fab.Leaves[l.A].Ports[hostsPerLeaf+l.B]
+				return up, up.Peer
+			}
+			panic("psim: unsupported link role in plan")
+		})
+}

@@ -10,6 +10,14 @@
 // The control loop is ACK-clocked and therefore reacts on RTT timescales —
 // an order of magnitude slower than DCQCN's CNP loop — which is exactly the
 // asymmetry behind the unfair buffer sharing ACC corrects in Figure 8.
+//
+// As in package dcqcn, the sender (Flow) and receiver (Receiver) are
+// separate objects, each owned by its host's Network: Start wires both onto
+// one Network for sequential runs, while sharded runs (internal/psim) start
+// each half in the shard owning its host. The halves communicate only
+// through packets — the sender completes on the final cumulative ACK, the
+// receiver on the final data byte — so neither ever reaches into the
+// other's shard.
 package tcp
 
 import (
@@ -47,13 +55,14 @@ func DefaultParams() Params {
 
 const time1ms = simtime.Millisecond
 
-// Flow is one TCP connection transferring Size bytes Src→Dst.
+// Flow is the sender of one TCP connection transferring Size bytes from Src
+// to the host addressed by DstID.
 type Flow struct {
-	ID   netsim.FlowID
-	Src  *netsim.Host
-	Dst  *netsim.Host
-	Size int64
-	P    Params
+	ID    netsim.FlowID
+	Src   *netsim.Host
+	DstID int
+	Size  int64
+	P     Params
 
 	Start simtime.Time
 	End   simtime.Time
@@ -81,18 +90,19 @@ type Flow struct {
 	rtoEv        *eventq.Event
 	sendTimes    map[int64]simtime.Time // seq -> first-send time (for RTT)
 
-	// Receiver state.
-	rcvNext int64
-	ooo     map[int64]int // out-of-order segments: seq -> payload len
-	rcvdAll bool
-
 	// Counters.
 	Retransmits uint64
 	Timeouts    uint64
 	ECEAcks     uint64
 
-	onDone func(*Flow)
-	done   bool
+	// acked marks sender-side completion: the cumulative ACK covering Size
+	// arrived and the sender tore down. Distinct from the receiver's done —
+	// the receiver finishes half an RTT earlier, on the final data byte.
+	acked bool
+
+	// rx is the paired receiver when both halves share a Network
+	// (sequential Start); nil for split sharded starts.
+	rx *Receiver
 
 	// Pre-bound callbacks, created once in Start so the per-ACK / per-packet
 	// paths (NIC waiter registration, RTO re-arming) don't allocate a new
@@ -101,8 +111,34 @@ type Flow struct {
 	onRTOFn   func()
 }
 
-// Done reports whether the transfer completed.
-func (f *Flow) Done() bool { return f.done }
+// Receiver is the receiving half of one TCP connection: it reorders data,
+// emits cumulative ACKs with per-packet ECN echo, and detects completion.
+type Receiver struct {
+	ID    netsim.FlowID
+	Dst   *netsim.Host
+	SrcID int
+	Size  int64
+	P     Params
+
+	Start simtime.Time
+	End   simtime.Time // zero until complete
+
+	net *netsim.Network
+
+	rcvNext int64
+	ooo     map[int64]int // out-of-order segments: seq -> payload len
+	done    bool
+
+	onDone func(*Receiver)
+}
+
+// Done reports whether the transfer completed (receiver view; see Received
+// for the split-mode caveat).
+func (f *Flow) Done() bool { return f.rx != nil && f.rx.done }
+
+// Acked reports whether the sender saw the cumulative ACK for the whole
+// transfer and tore down.
+func (f *Flow) Acked() bool { return f.acked }
 
 // FCT returns the completion time, valid once Done.
 func (f *Flow) FCT() simtime.Duration { return f.End.Sub(f.Start) }
@@ -113,11 +149,44 @@ func (f *Flow) Cwnd() float64 { return f.cwnd }
 // Alpha returns the DCTCP congestion estimate.
 func (f *Flow) Alpha() float64 { return f.alpha }
 
-// Received returns contiguous bytes delivered to the receiver.
-func (f *Flow) Received() int64 { return f.rcvNext }
+// Received returns contiguous bytes delivered to the receiver; valid when
+// the flow was started with Start (both halves on one Network). Split
+// sharded senders report 0 — delivery progress belongs to the Receiver in
+// the destination shard.
+func (f *Flow) Received() int64 {
+	if f.rx == nil {
+		return 0
+	}
+	return f.rx.rcvNext
+}
 
-// Start opens a TCP flow of size bytes at the current virtual time.
+// Received returns contiguous bytes delivered.
+func (r *Receiver) Received() int64 { return r.rcvNext }
+
+// Done reports whether all bytes arrived.
+func (r *Receiver) Done() bool { return r.done }
+
+// FCT returns the completion time, valid once Done.
+func (r *Receiver) FCT() simtime.Duration { return r.End.Sub(r.Start) }
+
+// Start opens a TCP flow of size bytes at the current virtual time, with
+// both halves on the same Network.
 func Start(net *netsim.Network, src, dst *netsim.Host, size int64, p Params, onDone func(*Flow)) *Flow {
+	f := StartSender(net, net.NextFlowID(), src, dst.ID(), size, p)
+	f.rx = StartReceiver(f.ID, src.ID(), dst, size, p, func(r *Receiver) {
+		f.End = r.End
+		if onDone != nil {
+			onDone(f)
+		}
+	})
+	return f
+}
+
+// StartSender opens the sending half only, toward the host with node id
+// dstID. Sharded runs start it in the shard owning src, paired with a
+// StartReceiver carrying the same explicit flow id in the destination's
+// shard.
+func StartSender(net *netsim.Network, id netsim.FlowID, src *netsim.Host, dstID int, size int64, p Params) *Flow {
 	if p.MTU <= 0 {
 		p.MTU = netsim.DefaultMTU
 	}
@@ -131,9 +200,9 @@ func Start(net *netsim.Network, src, dst *netsim.Host, size int64, p Params, onD
 		p.RTOMin = time1ms
 	}
 	f := &Flow{
-		ID:        net.NextFlowID(),
+		ID:        id,
 		Src:       src,
-		Dst:       dst,
+		DstID:     dstID,
 		Size:      size,
 		P:         p,
 		Start:     net.Now(),
@@ -141,8 +210,6 @@ func Start(net *netsim.Network, src, dst *netsim.Host, size int64, p Params, onD
 		cwnd:      float64(p.InitCwndPkts * p.MTU),
 		ssthresh:  1 << 40,
 		sendTimes: make(map[int64]simtime.Time),
-		ooo:       make(map[int64]int),
-		onDone:    onDone,
 	}
 	if p.MaxCwndPkts > 0 {
 		f.ssthresh = float64(p.MaxCwndPkts * p.MTU)
@@ -150,9 +217,29 @@ func Start(net *netsim.Network, src, dst *netsim.Host, size int64, p Params, onD
 	f.trySendFn = f.trySend
 	f.onRTOFn = f.onRTO
 	src.Register(f.ID, netsim.EndpointFunc(f.senderHandle))
-	dst.Register(f.ID, netsim.EndpointFunc(f.receiverHandle))
 	f.trySend()
 	return f
+}
+
+// StartReceiver opens the receiving half only, on dst's Network. onDone, if
+// non-nil, runs when the final byte arrives.
+func StartReceiver(id netsim.FlowID, srcID int, dst *netsim.Host, size int64, p Params, onDone func(*Receiver)) *Receiver {
+	if p.MTU <= 0 {
+		p.MTU = netsim.DefaultMTU
+	}
+	r := &Receiver{
+		ID:     id,
+		Dst:    dst,
+		SrcID:  srcID,
+		Size:   size,
+		P:      p,
+		Start:  dst.Net().Now(),
+		net:    dst.Net(),
+		ooo:    make(map[int64]int),
+		onDone: onDone,
+	}
+	dst.Register(r.ID, netsim.EndpointFunc(r.handle))
+	return r
 }
 
 func (f *Flow) maxCwnd() float64 {
@@ -164,7 +251,7 @@ func (f *Flow) maxCwnd() float64 {
 
 // trySend transmits new data while the window and the NIC admit it.
 func (f *Flow) trySend() {
-	if f.done {
+	if f.acked {
 		return
 	}
 	for f.sndNext < f.Size && f.sndNext < f.sndUna+int64(f.cwnd) {
@@ -187,7 +274,7 @@ func (f *Flow) emit(seq int64, payload int, retx bool) {
 	pkt.Kind = netsim.KindData
 	pkt.Flow = f.ID
 	pkt.Src = f.Src.ID()
-	pkt.Dst = f.Dst.ID()
+	pkt.Dst = f.DstID
 	pkt.Prio = f.P.Prio
 	pkt.Size = payload + netsim.DataHeaderBytes
 	pkt.Seq = seq
@@ -205,34 +292,34 @@ func (f *Flow) emit(seq int64, payload int, retx bool) {
 	f.armRTO()
 }
 
-// receiverHandle accepts data, reorders, and emits cumulative ACKs that echo
-// per-packet CE (accurate ECN feedback, as DCTCP requires).
-func (f *Flow) receiverHandle(pkt *netsim.Packet) {
+// handle accepts data at the receiver, reorders, and emits cumulative ACKs
+// that echo per-packet CE (accurate ECN feedback, as DCTCP requires).
+func (r *Receiver) handle(pkt *netsim.Packet) {
 	if pkt.Kind != netsim.KindData {
 		return
 	}
 	payload := pkt.Size - netsim.DataHeaderBytes
-	if pkt.Seq == f.rcvNext {
-		f.rcvNext += int64(payload)
+	if pkt.Seq == r.rcvNext {
+		r.rcvNext += int64(payload)
 		for {
-			n, ok := f.ooo[f.rcvNext]
+			n, ok := r.ooo[r.rcvNext]
 			if !ok {
 				break
 			}
-			delete(f.ooo, f.rcvNext)
-			f.rcvNext += int64(n)
+			delete(r.ooo, r.rcvNext)
+			r.rcvNext += int64(n)
 		}
-	} else if pkt.Seq > f.rcvNext {
-		f.ooo[pkt.Seq] = payload
+	} else if pkt.Seq > r.rcvNext {
+		r.ooo[pkt.Seq] = payload
 	}
-	ack := f.net.AllocPacket()
+	ack := r.net.AllocPacket()
 	ack.Kind = netsim.KindAck
-	ack.Flow = f.ID
-	ack.Src = f.Dst.ID()
-	ack.Dst = f.Src.ID()
-	ack.Prio = f.P.Prio
+	ack.Flow = r.ID
+	ack.Src = r.Dst.ID()
+	ack.Dst = r.SrcID
+	ack.Prio = r.P.Prio
 	ack.Size = netsim.CtrlPacketBytes
-	ack.Seq = f.rcvNext
+	ack.Seq = r.rcvNext
 	ack.ECE = pkt.CE
 	// ACKs are ECN-capable so AQM marks rather than drops them; the
 	// sender reads the explicit ECE echo, never the ACK's own CE bit.
@@ -240,17 +327,21 @@ func (f *Flow) receiverHandle(pkt *netsim.Packet) {
 	// AckSeq piggybacks the payload length this ACK acknowledges receipt of,
 	// so the sender can attribute marked bytes for DCTCP's fraction.
 	ack.FlowBytes = int64(payload)
-	f.Dst.Send(ack)
+	r.Dst.Send(ack)
 
-	if f.rcvNext >= f.Size && !f.rcvdAll {
-		f.rcvdAll = true
-		f.finish()
+	if r.rcvNext >= r.Size && !r.done {
+		r.done = true
+		r.End = r.net.Now()
+		r.Dst.Unregister(r.ID)
+		if r.onDone != nil {
+			r.onDone(r)
+		}
 	}
 }
 
 // senderHandle processes cumulative ACKs.
 func (f *Flow) senderHandle(pkt *netsim.Packet) {
-	if pkt.Kind != netsim.KindAck || f.done {
+	if pkt.Kind != netsim.KindAck || f.acked {
 		return
 	}
 	if pkt.ECE {
@@ -292,6 +383,13 @@ func (f *Flow) senderHandle(pkt *netsim.Packet) {
 		}
 		f.growCwnd(float64(newly))
 		f.dctcpWindowUpdate()
+		if f.sndUna >= f.Size {
+			// Final cumulative ACK: the sender's job is over. Completion
+			// time (End) was already mirrored from the receiver in
+			// sequential runs; a split sender records its own.
+			f.senderTeardown()
+			return
+		}
 		f.armRTO()
 	case pkt.Seq == f.sndUna && f.sndNext > f.sndUna:
 		f.dupAcks++
@@ -398,7 +496,7 @@ func (f *Flow) rto() simtime.Duration {
 // timer's Event is reused across re-arms (every ACK lands here), so the
 // steady-state path allocates nothing.
 func (f *Flow) armRTO() {
-	if f.sndUna >= f.Size || f.done {
+	if f.sndUna >= f.Size || f.acked {
 		if f.rtoEv != nil {
 			f.rtoEv.Cancel()
 		}
@@ -410,7 +508,7 @@ func (f *Flow) armRTO() {
 // onRTO handles a retransmission timeout: collapse to one segment and resend
 // from the hole.
 func (f *Flow) onRTO() {
-	if f.done {
+	if f.acked {
 		return
 	}
 	f.Timeouts++
@@ -429,17 +527,16 @@ func (f *Flow) onRTO() {
 	f.emit(f.sndUna, payload, true)
 }
 
-// finish records completion and tears down.
-func (f *Flow) finish() {
-	f.done = true
-	f.End = f.net.Now()
+// senderTeardown cancels the RTO and unregisters the sender endpoint. It
+// touches sender-shard state only.
+func (f *Flow) senderTeardown() {
+	f.acked = true
+	if f.End == 0 {
+		f.End = f.net.Now()
+	}
 	if f.rtoEv != nil {
 		f.rtoEv.Cancel()
 		f.rtoEv = nil
 	}
 	f.Src.Unregister(f.ID)
-	f.Dst.Unregister(f.ID)
-	if f.onDone != nil {
-		f.onDone(f)
-	}
 }

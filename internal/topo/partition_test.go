@@ -1,0 +1,112 @@
+package topo
+
+import (
+	"testing"
+
+	"github.com/accnet/acc/internal/netsim"
+)
+
+// TestLeafSpineIDFormulas pins the Partition id and port-index formulas to
+// the real sequential builder: if LeafSpine's construction order ever
+// changes, this fails before the parallel engine can silently build a
+// different fabric.
+func TestLeafSpineIDFormulas(t *testing.T) {
+	const nLeaf, hostsPerLeaf, nSpine = 4, 3, 2
+	c := DefaultConfig()
+	net := netsim.New(1)
+	fab := LeafSpine(net, nLeaf, hostsPerLeaf, nSpine, c)
+	p := PartitionLeafSpine(nLeaf, hostsPerLeaf, nSpine, 1, c)
+
+	if got := p.NumNodes(); got != len(net.Nodes()) {
+		t.Fatalf("NumNodes = %d, builder registered %d", got, len(net.Nodes()))
+	}
+	for s, sw := range fab.Spines {
+		if sw.ID() != p.SpineID(s) {
+			t.Errorf("spine %d: id %d, formula %d", s, sw.ID(), p.SpineID(s))
+		}
+	}
+	for l, leaf := range fab.Leaves {
+		if leaf.ID() != p.LeafID(l) {
+			t.Errorf("leaf %d: id %d, formula %d", l, leaf.ID(), p.LeafID(l))
+		}
+		for i, h := range fab.HostsAt[l] {
+			if h.ID() != p.HostID(l, i) {
+				t.Errorf("host (%d,%d): id %d, formula %d", l, i, h.ID(), p.HostID(l, i))
+			}
+			if leaf.Ports[p.LeafHostPort(i)].Peer != h.Port {
+				t.Errorf("leaf %d port %d does not face host (%d,%d)", l, p.LeafHostPort(i), l, i)
+			}
+		}
+		for s, spine := range fab.Spines {
+			up := leaf.Ports[p.LeafUplinkPort(s)]
+			down := spine.Ports[p.SpineDownlinkPort(l)]
+			if up.Peer != down || down.Peer != up {
+				t.Errorf("leaf %d <-> spine %d: uplink/downlink port formulas do not peer", l, s)
+			}
+		}
+	}
+	for id := 0; id < p.NumNodes(); id++ {
+		if got := p.ShardOfNode(id); got != 0 {
+			t.Errorf("K=1 ShardOfNode(%d) = %d, want 0", id, got)
+		}
+	}
+}
+
+func TestPartitionShapes(t *testing.T) {
+	c := DefaultConfig()
+
+	// Clamping: more shards than leaves degenerates to per-leaf shards; a
+	// single leaf (star-like) always collapses to one shard.
+	if p := PartitionLeafSpine(4, 8, 6, 99, c); p.K != 4 {
+		t.Errorf("K clamped to %d, want 4", p.K)
+	}
+	if p := PartitionLeafSpine(1, 8, 2, 4, c); p.K != 1 {
+		t.Errorf("single leaf: K = %d, want 1", p.K)
+	}
+	if p := PartitionLeafSpine(4, 8, 6, 0, c); p.K != 1 {
+		t.Errorf("k=0: K = %d, want 1", p.K)
+	}
+
+	// Leaves land in contiguous balanced blocks; spines round-robin; every
+	// shard owns at least one leaf.
+	p := PartitionLeafSpine(10, 4, 6, 4, c)
+	counts := make([]int, p.K)
+	prev := 0
+	for l, sh := range p.LeafShard {
+		if sh < prev {
+			t.Fatalf("leaf %d: shard %d after shard %d — blocks not contiguous", l, sh, prev)
+		}
+		prev = sh
+		counts[sh]++
+	}
+	for sh, n := range counts {
+		if n == 0 {
+			t.Errorf("shard %d owns no leaves", sh)
+		}
+	}
+	for s, sh := range p.SpineShard {
+		if sh != s%p.K {
+			t.Errorf("spine %d on shard %d, want %d", s, sh, s%p.K)
+		}
+	}
+	if p.Lookahead != c.FabDelay {
+		t.Errorf("lookahead %v, want fabric delay %v", p.Lookahead, c.FabDelay)
+	}
+
+	// ShardOfNode agrees with the per-leaf/per-spine tables.
+	for s := range p.SpineShard {
+		if p.ShardOfNode(p.SpineID(s)) != p.SpineShard[s] {
+			t.Errorf("spine %d: ShardOfNode mismatch", s)
+		}
+	}
+	for l := range p.LeafShard {
+		if p.ShardOfNode(p.LeafID(l)) != p.LeafShard[l] {
+			t.Errorf("leaf %d: ShardOfNode mismatch", l)
+		}
+		for i := 0; i < p.HostsPerLeaf; i++ {
+			if p.ShardOfNode(p.HostID(l, i)) != p.LeafShard[l] {
+				t.Errorf("host (%d,%d): ShardOfNode mismatch", l, i)
+			}
+		}
+	}
+}

@@ -83,15 +83,7 @@ func (c Config) injectLimit() int {
 // attachHost creates a host NIC, connects it to a leaf port, and programs
 // direct routes on the leaf.
 func (c Config) attachHost(net *netsim.Network, leaf *netsim.Switch, name string) *netsim.Host {
-	h := netsim.NewHost(net, name)
-	hp := h.AttachPort(c.HostBW, c.HostDelay, c.QueueWeights)
-	for _, q := range hp.Queues {
-		q.InjectLimit = c.injectLimit()
-	}
-	lp := leaf.AddPort(c.HostBW, c.HostDelay, c.QueueWeights)
-	netsim.Connect(hp, lp)
-	leaf.SetRoute(h.ID(), lp)
-	return h
+	return c.AttachHostAt(net, leaf, name, len(net.Nodes()))
 }
 
 // Star builds nHosts hosts around a single switch (the paper's §5.2
@@ -108,9 +100,7 @@ func Star(net *netsim.Network, nHosts int, c Config) *Fabric {
 }
 
 func (c Config) newSwitch(net *netsim.Network, name string) *netsim.Switch {
-	sc := c.Switch
-	sc.Name = name
-	return netsim.NewSwitch(net, sc)
+	return c.SwitchAt(net, name, len(net.Nodes()))
 }
 
 // LeafSpine builds a two-tier fabric: nLeaf leaf switches with hostsPerLeaf
