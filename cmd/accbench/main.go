@@ -19,6 +19,10 @@
 //	                               # parallel engine, written to -shard-out
 //	accbench -shards 4 -shard-leaves 8 -shard-hosts 16 -shard-spines 4
 //	                               # smaller sharded geometry (CI smoke)
+//	accbench -fidelity hybrid      # hybrid fast-path benchmark: the 2304-host
+//	                               # uncongested workload at packet fidelity vs
+//	                               # the flow-level fast-forward engine, written
+//	                               # to -hybrid-out (BENCH_hybrid.json)
 package main
 
 import (
@@ -37,18 +41,30 @@ import (
 )
 
 // trajectoryRun is one entry in the BENCH_trajectory.json array: a CoreResult
-// tagged with enough provenance (commit, date, configuration) to plot engine
-// throughput over the history of the repository.
+// tagged with enough provenance (commit, date, configuration, machine
+// parallelism) to plot engine throughput over the history of the repository.
 type trajectoryRun struct {
-	Commit     string          `json:"commit"`
-	Date       string          `json:"date"` // RFC 3339, UTC
-	Seed       int64           `json:"seed"`
-	WarmupUsec float64         `json:"warmup_usec"`
-	WindowUsec float64         `json:"window_usec"`
-	GoVersion  string          `json:"go_version"`
-	GOOS       string          `json:"goos"`
-	GOARCH     string          `json:"goarch"`
-	Result     perf.CoreResult `json:"result"`
+	Commit     string  `json:"commit"`
+	Date       string  `json:"date"` // RFC 3339, UTC
+	Seed       int64   `json:"seed"`
+	WarmupUsec float64 `json:"warmup_usec"`
+	WindowUsec float64 `json:"window_usec"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	// MaxProcs records the parallelism the run could use; comparisons across
+	// machines (or cgroup limits) are only honest within the same value.
+	MaxProcs int `json:"maxprocs"`
+	// Note flags measurement conditions that undermine the record — e.g.
+	// maxprocs=1, where any parallel-engine speedup in the same session
+	// measured synchronization overhead rather than scaling.
+	Note   string          `json:"note,omitempty"`
+	Result perf.CoreResult `json:"result"`
+	// Fidelity tags hybrid fast-path records ("hybrid"); empty for the
+	// packet-level core benchmark. Hybrid carries the full packet-vs-hybrid
+	// comparison for such records.
+	Fidelity string             `json:"fidelity,omitempty"`
+	Hybrid   *perf.HybridResult `json:"hybrid,omitempty"`
 }
 
 // gitShortSHA returns the current commit's short SHA, or "unknown" when git
@@ -98,6 +114,13 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measured window to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
+	ho := perf.DefaultHybridOptions()
+	var (
+		fidelity     = flag.String("fidelity", "", "'hybrid': also run the hybrid fast-path benchmark (packet vs flow-level fast-forward) and write -hybrid-out")
+		hybridOut    = flag.String("hybrid-out", "BENCH_hybrid.json", "hybrid benchmark output path ('-' = stdout only)")
+		hybridwindow = flag.Duration("hybrid-window", time.Duration(ho.Window), "hybrid benchmark: measured span of virtual time")
+		hybridWarmup = flag.Duration("hybrid-warmup", time.Duration(ho.Warmup), "hybrid benchmark: virtual warmup before measuring")
+	)
 	so := perf.DefaultShardOptions()
 	var (
 		shards      = flag.Int("shards", 0, "also run the sharded-engine benchmark with this many shards (0 = skip)")
@@ -112,6 +135,18 @@ func main() {
 	o.Seed = *seed
 	o.Window = simtime.Duration(*window)
 	o.Warmup = simtime.Duration(*warmup)
+	switch *fidelity {
+	case "", "packet", "hybrid":
+	default:
+		fatal(fmt.Errorf("unknown -fidelity %q (want 'packet' or 'hybrid')", *fidelity))
+	}
+	// maxprocs=1 makes any parallel speedup in this session meaningless;
+	// stamp the condition into every artifact rather than only stderr.
+	note := ""
+	if runtime.GOMAXPROCS(0) == 1 {
+		note = "maxprocs=1: parallel speedups in this session measure synchronization overhead, not scaling"
+		fmt.Fprintln(os.Stderr, "accbench: warning:", note)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -165,12 +200,59 @@ func main() {
 			GoVersion:  runtime.Version(),
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
+			MaxProcs:   runtime.GOMAXPROCS(0),
+			Note:       note,
 			Result:     r,
 		}
 		if err := appendTrajectory(*trajectory, run); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "accbench: appended run %s to %s\n", id, *trajectory)
+	}
+
+	if *fidelity == "hybrid" {
+		ho.Seed = *seed
+		ho.Window = simtime.Duration(*hybridwindow)
+		ho.Warmup = simtime.Duration(*hybridWarmup)
+		fmt.Fprintf(os.Stderr, "accbench: hybrid benchmark: %d hosts, %d senders, GOMAXPROCS=%d\n",
+			ho.Leaves*ho.HostsPerLeaf, ho.Leaves*ho.SendersPerLeaf, runtime.GOMAXPROCS(0))
+		hr := perf.RunHybridCore(ho)
+		buf, err := json.MarshalIndent(hr, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if *hybridOut != "-" {
+			if err := os.WriteFile(*hybridOut, buf, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		os.Stdout.Write(buf)
+		if *trajectory != "" {
+			id := *commit
+			if id == "" {
+				id = gitShortSHA()
+			}
+			run := trajectoryRun{
+				Commit:     id,
+				Date:       time.Now().UTC().Format(time.RFC3339),
+				Seed:       ho.Seed,
+				WarmupUsec: ho.Warmup.Seconds() * 1e6,
+				WindowUsec: ho.Window.Seconds() * 1e6,
+				GoVersion:  runtime.Version(),
+				GOOS:       runtime.GOOS,
+				GOARCH:     runtime.GOARCH,
+				MaxProcs:   runtime.GOMAXPROCS(0),
+				Note:       note,
+				Result:     hr.Hybrid,
+				Fidelity:   "hybrid",
+				Hybrid:     &hr,
+			}
+			if err := appendTrajectory(*trajectory, run); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "accbench: appended hybrid run %s to %s (speedup %.1fx)\n", id, *trajectory, hr.Speedup)
+		}
 	}
 
 	if *shards > 0 {

@@ -8,6 +8,9 @@
 //	accsim -exp all                # run everything
 //	accsim -exp fig12 -scale 4     # paper-scale fabric/durations
 //	accsim -exp fig9 -csv          # machine-readable output
+//	accsim -exp fig8 -fidelity hybrid
+//	                               # flow-level fast-forward with packet-level
+//	                               # hotspot demotion (<=1% FCT tolerance)
 //
 // The robustness suite (robust-linkfail, robust-flap, robust-telemetry)
 // reads the -fault-* flags to shape its fault plan:
@@ -44,6 +47,7 @@ func main() {
 		scale    = flag.Float64("scale", 1, "duration/fabric scale factor (>=4 restores paper-scale fabrics)")
 		episodes = flag.Int("episodes", 0, "offline pre-training episodes for ACC policies (0 = default)")
 		shards   = flag.Int("shards", 0, "drive experiments at the N-shard barrier cadence (tables are byte-identical to sequential; see DESIGN.md 'Parallel simulation')")
+		fidelity = flag.String("fidelity", "", "simulation fidelity: ''/'packet' = byte-identical packet engine, 'hybrid' = flow-level fast-forward with packet-level hotspot demotion (see DESIGN.md 'Hybrid fidelity')")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 
 		faultMTBF    = flag.Duration("fault-mtbf", 0, "robust-flap: mean up time between failures (0 = experiment default)")
@@ -70,8 +74,15 @@ func main() {
 		return
 	}
 
+	switch *fidelity {
+	case "", "packet", "hybrid":
+	default:
+		fmt.Fprintf(os.Stderr, "accsim: unknown -fidelity %q (want 'packet' or 'hybrid')\n", *fidelity)
+		os.Exit(2)
+	}
 	opts := exp.Options{
 		Seed: *seed, Scale: *scale, OfflineEpisodes: *episodes, Shards: *shards,
+		Fidelity: *fidelity,
 		Faults: exp.FaultOptions{
 			MTBF:     simtime.Duration((*faultMTBF).Nanoseconds()),
 			MTTR:     simtime.Duration((*faultMTTR).Nanoseconds()),

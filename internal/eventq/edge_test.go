@@ -358,3 +358,74 @@ func TestRunBeforeCancelledHead(t *testing.T) {
 		t.Fatalf("Pending diverged: calendar=%d reference=%d", q.Pending(), r.Pending())
 	}
 }
+
+// TestRunBeforeHorizonEdgeScheduledInWindow pins the horizon edge the hybrid
+// fast path leans on: an event firing inside a window schedules new work at
+// exactly the window's horizon (an analytic advance landing on the barrier
+// instant). RunBefore is horizon-exclusive, so that work must stay pending —
+// executing it would run an event at the barrier before cross-shard
+// injection for that instant happened — and must then fire in the next
+// window, ordered against other barrier-instant events by (time, seq).
+// Asserted on the calendar queue and the reference heap alike.
+func TestRunBeforeHorizonEdgeScheduledInWindow(t *testing.T) {
+	const barrier = simtime.Time(50)
+	q, r := New(), newRef()
+	var qLog, rLog []string
+	// Fires mid-window and schedules exactly at the horizon.
+	q.At(10, func() { q.At(barrier, func() { qLog = append(qLog, "inner") }) })
+	r.At(10, func() { r.At(barrier, func() { rLog = append(rLog, "inner") }) })
+
+	q.RunBefore(barrier)
+	r.RunBefore(barrier)
+	if len(qLog) != 0 || len(rLog) != 0 {
+		t.Fatalf("horizon event fired inside its scheduling window (calendar=%v reference=%v)", qLog, rLog)
+	}
+	if q.Now() != barrier || r.Now() != barrier {
+		t.Fatalf("clock = (%v, %v), want %v", q.Now(), r.Now(), barrier)
+	}
+	if q.Pending() != 1 || r.Pending() != 1 {
+		t.Fatalf("Pending = (%d, %d), want 1", q.Pending(), r.Pending())
+	}
+
+	// Same-instant work scheduled after the barrier (the coordinator's
+	// injection pattern) carries a later seq, so the in-window event wins.
+	q.At(barrier, func() { qLog = append(qLog, "injected") })
+	r.At(barrier, func() { rLog = append(rLog, "injected") })
+	q.RunBefore(barrier + 1)
+	r.RunBefore(barrier + 1)
+	want := []string{"inner", "injected"}
+	for i, lg := range [][]string{qLog, rLog} {
+		name := []string{"calendar", "reference"}[i]
+		if len(lg) != len(want) || lg[0] != want[0] || lg[1] != want[1] {
+			t.Fatalf("%s fired %v, want %v", name, lg, want)
+		}
+	}
+}
+
+// TestRunBeforeHorizonEdgePooled is the pooled twin: CallAt at exactly the
+// horizon from inside the window (the hybrid engine's completion events ride
+// the zero-alloc path), plus a re-armed window tick landing on the horizon.
+// Both must hold for the conservative-sync contract regardless of which
+// scheduling path carried the event.
+func TestRunBeforeHorizonEdgePooled(t *testing.T) {
+	const barrier = simtime.Time(40)
+	q, r := New(), newRef()
+	var qFired, rFired int
+	bump := func(p *int) func(any) { return func(any) { *p++ } }
+	q.At(7, func() { q.CallAt(barrier, bump(&qFired), nil) })
+	r.At(7, func() { r.CallAt(barrier, bump(&rFired), nil) })
+
+	q.RunBefore(barrier)
+	r.RunBefore(barrier)
+	if qFired != 0 || rFired != 0 {
+		t.Fatalf("pooled horizon event fired inside its window (calendar=%d reference=%d)", qFired, rFired)
+	}
+	q.RunBefore(barrier + 10)
+	r.RunBefore(barrier + 10)
+	if qFired != 1 || rFired != 1 {
+		t.Fatalf("pooled horizon event did not fire next window (calendar=%d reference=%d)", qFired, rFired)
+	}
+	if q.Pending() != r.Pending() {
+		t.Fatalf("Pending diverged: calendar=%d reference=%d", q.Pending(), r.Pending())
+	}
+}

@@ -59,7 +59,16 @@ type Options struct {
 	// (experiment id, seed, scale, wall time, event/packet totals). Nil —
 	// the default — keeps every hook on the zero-overhead nil-tracer path.
 	Obs *obs.Run
+	// Fidelity selects the simulation mode: "" or "packet" is the full
+	// packet-level engine (byte-identical to historical goldens), "hybrid"
+	// fast-forwards uncongested traffic in closed form with deterministic
+	// demotion to packet level at hotspots (internal/hybrid). Experiments
+	// that have not been wired for hybrid ignore the flag.
+	Fidelity string
 }
+
+// Hybrid reports whether the run requests the hybrid-fidelity fast path.
+func (o Options) Hybrid() bool { return o.Fidelity == "hybrid" }
 
 // FaultOptions surfaces the fault-injection plan knobs on the command line
 // (cmd/accsim -fault-* flags). Each robust-* experiment reads the fields it
@@ -215,6 +224,9 @@ func obsConfig(o Options) map[string]string {
 	}
 	if f.Degrade != 0 {
 		cfg["fault_degrade"] = fmt.Sprint(f.Degrade)
+	}
+	if o.Fidelity != "" && o.Fidelity != "packet" {
+		cfg["fidelity"] = o.Fidelity
 	}
 	if len(cfg) == 0 {
 		return nil

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"github.com/accnet/acc/internal/dcqcn"
+	"github.com/accnet/acc/internal/hybrid"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/obs"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/stats"
+	"github.com/accnet/acc/internal/tcp"
+	"github.com/accnet/acc/internal/topo"
+)
+
+// hybridHarness wires one hybrid-fidelity engine (internal/hybrid) over an
+// experiment's fabric and exposes drop-in replacements for the packet-level
+// transport starters. Flow ids are pre-drawn from the Network's counter so
+// a demoted flow carries exactly the id — and therefore the ECMP path —
+// its packets would have had in a pure packet-level run.
+type hybridHarness struct {
+	Eng  *hybrid.Engine
+	Mesh *hybrid.Mesh
+	net  *netsim.Network
+}
+
+// newHybridHarness builds the engine over fab and starts its advance
+// ticker. Call finish() after the run to fold mode accounting into the
+// manifest.
+func newHybridHarness(net *netsim.Network, fab *topo.Fabric) *hybridHarness {
+	e := hybrid.New(hybrid.DefaultConfig(), net.Q, net.Tracer)
+	m := hybrid.ForFabric(e, fab)
+	e.StartTicker()
+	return &hybridHarness{Eng: e, Mesh: m, net: net}
+}
+
+// finish stops the advance ticker and reports mode accounting to the run
+// manifest.
+func (h *hybridHarness) finish(run *obs.Run) {
+	h.Eng.Stop()
+	run.AddFidelity(h.Eng.Stats)
+}
+
+// rdma is the hybrid analogue of rdmaStarter: DCQCN flows fast-forward in
+// closed form while their path is provably uncongested and demote to the
+// real DCQCN state machine — same flow id, exact remaining bytes — the
+// moment a trigger fires.
+func (h *hybridHarness) rdma(bw simtime.Rate, col *stats.FCTCollector) func(src, dst *netsim.Host, size int64, onDone func()) {
+	params := dcqcn.DefaultParams(bw)
+	return func(src, dst *netsim.Host, size int64, onDone func()) {
+		id := h.net.NextFlowID()
+		done := func(f *hybrid.Flow, end simtime.Time) {
+			if col != nil {
+				col.AddFlow(size, f.Start, end, "rdma")
+			}
+			if onDone != nil {
+				onDone()
+			}
+		}
+		h.Eng.StartFlow(h.Mesh.Path(id, src, dst),
+			hybrid.FlowOpts{ID: uint64(id), Size: size, Prio: params.Prio, Eligible: true},
+			func(f *hybrid.Flow, remaining int64) {
+				dcqcn.StartSender(h.net, id, src, dst.ID(), remaining, params)
+				dcqcn.StartReceiver(id, src.ID(), dst, remaining, params, func(r *dcqcn.Receiver) {
+					h.Eng.PacketDone(f)
+					done(f, r.End)
+				})
+			},
+			done)
+	}
+}
+
+// tcp is the hybrid analogue of tcpStarter. TCP's slow-start dynamics are
+// not representable by the fluid model, so every flow runs at packet level
+// (Eligible false) — but it is still registered so its demand reservation
+// makes analytic RDMA flows see TCP load on shared links immediately.
+func (h *hybridHarness) tcp(col *stats.FCTCollector, ecn bool) func(src, dst *netsim.Host, size int64, onDone func()) {
+	params := tcp.DefaultParams()
+	params.ECN = ecn
+	return func(src, dst *netsim.Host, size int64, onDone func()) {
+		id := h.net.NextFlowID()
+		h.Eng.StartFlow(h.Mesh.Path(id, src, dst),
+			hybrid.FlowOpts{ID: uint64(id), Size: size, Prio: params.Prio},
+			func(f *hybrid.Flow, remaining int64) {
+				start := h.net.Now()
+				tcp.StartSender(h.net, id, src, dst.ID(), remaining, params)
+				tcp.StartReceiver(id, src.ID(), dst, remaining, params, func(r *tcp.Receiver) {
+					h.Eng.PacketDone(f)
+					if col != nil {
+						col.AddFlow(size, start, r.End, "tcp")
+					}
+					if onDone != nil {
+						onDone()
+					}
+				})
+			},
+			nil)
+	}
+}

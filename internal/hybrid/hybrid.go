@@ -1,0 +1,775 @@
+// Package hybrid is the flow-level fast-forward engine: it advances
+// uncongested traffic in closed form — max-min rate shares per link,
+// frame-exact FCT and bytes-delivered integration over batched windows —
+// and demotes flows to the existing packet-level engine the moment a
+// deterministic trigger says packet effects (queueing, ECN marking, PFC,
+// faults) could influence the outcome. The packet engine stays the source
+// of truth wherever fidelity matters; the hybrid engine only skips work it
+// can prove is unaffected by it.
+//
+// # Fluid model
+//
+// Every registered flow declares a demand: the rate its transport would
+// pace at absent congestion feedback (for DCQCN, the sender NIC line rate —
+// rc starts at InitRate = line and never moves until the first CNP). The
+// engine water-fills max-min shares against link capacities, with
+// packet-mode flows reserving their demand on the links they cross. Two
+// deterministic facts make the fluid model *exact*, not approximate, for
+// the flows it keeps:
+//
+//   - a flow whose max-min share equals its demand paces frames below every
+//     link's capacity, so no queue builds anywhere on its path and DCQCN's
+//     control loop never engages: the flow streams at exactly its demand;
+//   - a flow whose share falls short of demand would build a queue at its
+//     bottleneck and enter real congestion-control dynamics — it is demoted
+//     on the spot, before any analytic time passes at the wrong rate.
+//
+// The per-link trigger adds a safety margin: a link crossed by two or more
+// flows whose fluid utilization reaches DemoteUtil of capacity is demoted
+// even though the fluid model says it fits, because near saturation
+// packet-level frame alignment can transiently queue. Links also demote on
+// observed simulated state — PFC pauses, WRED-relevant queue depth, or the
+// link going administratively down — and promote back after PromoteAfter
+// consecutive quiet windows. Every trigger reads simulated state only, so
+// runs stay bit-reproducible and shard-safe under psim.
+//
+// # Conservation
+//
+// Analytic delivery is committed in whole frames using the same frame
+// geometry the packet engine would use (MTU payload + header per frame,
+// per-frame serialization rounding), so the committed payload is an exact
+// integer byte count. Demotion hands the transport `Size - committed`
+// bytes to send at packet level: analytic payload + packet payload == Size
+// identically, and each crossed port is credited the committed wire bytes
+// (netsim.Port.CreditAnalyticTx) so per-port delivered-byte totals stay
+// conserved across every mode switch.
+package hybrid
+
+import (
+	"math"
+
+	"github.com/accnet/acc/internal/eventq"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/obs"
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// Mode is a flow's current fidelity.
+type Mode uint8
+
+const (
+	// ModeAnalytic flows advance in closed form.
+	ModeAnalytic Mode = iota
+	// ModePacket flows are simulated by the packet engine; the hybrid
+	// engine only tracks their demand reservation until PacketDone.
+	ModePacket
+)
+
+func (m Mode) String() string {
+	if m == ModeAnalytic {
+		return "analytic"
+	}
+	return "packet"
+}
+
+// Config holds the deterministic trigger and cadence knobs.
+type Config struct {
+	// Window is the analytic advance cadence: committed bytes, observed
+	// trigger state, and promotion hysteresis are evaluated every Window.
+	Window simtime.Duration
+	// DemoteUtil demotes a link shared by >=2 flows once fluid utilization
+	// (analytic shares + packet-mode demand reservations) reaches this
+	// fraction of capacity. Below it, paced flows cannot sustain a queue.
+	DemoteUtil float64
+	// QueueFrac demotes a link whose observed egress queue depth reaches
+	// QueueFrac*Kmin bytes — packet traffic is approaching the WRED
+	// marking region, so analytic flows sharing the port must see it.
+	QueueFrac float64
+	// Kmin is the WRED minimum threshold the queue trigger is scaled by,
+	// in bytes (the most conservative Kmin deployed on the fabric).
+	Kmin int
+	// PromoteAfter is the hysteresis: a demoted link must observe this
+	// many consecutive quiet windows before it serves analytic flows again.
+	PromoteAfter int
+	// MTU is the frame payload size the analytic frame geometry assumes;
+	// it must match the transport's (netsim.DefaultMTU by default).
+	MTU int
+}
+
+// DefaultConfig returns the trigger settings used by the experiments:
+// 20us windows, demotion at 85% fluid utilization on shared links, queue
+// trigger at half of a conservative 100KB Kmin, promotion after 3 quiet
+// windows.
+func DefaultConfig() Config {
+	return Config{
+		Window:       20 * simtime.Microsecond,
+		DemoteUtil:   0.85,
+		QueueFrac:    0.5,
+		Kmin:         100 * simtime.KB,
+		PromoteAfter: 3,
+		MTU:          netsim.DefaultMTU,
+	}
+}
+
+// Link is one modeled hop: a physical egress port plus the capacity the
+// fluid model shares among the flows crossing it.
+type Link struct {
+	Port *netsim.Port
+
+	Cap     simtime.Rate     // capacity water-filling distributes
+	SerRate simtime.Rate     // per-frame serialization rate (store-and-forward)
+	Delay   simtime.Duration // propagation delay of this hop
+
+	hot  bool // demoted: no analytic admissions until promotion
+	cold int  // consecutive quiet windows observed while hot
+
+	flows    []*Flow      // analytic flows crossing, registration order
+	sumRate  simtime.Rate // sum of analytic shares (== demands in equilibrium)
+	reserved simtime.Rate // sum of packet-mode flows' demand reservations
+	nPacket  int          // live packet-mode flows crossing
+
+	lastPauseRx uint64 // Port.PauseRxEvents at the last trigger check
+	wasDown     bool   // Port.IsDown at the last trigger check
+
+	// Water-filling scratch.
+	avail float64
+	nUn   int
+}
+
+// Hot reports whether the link is currently demoted to packet fidelity.
+func (l *Link) Hot() bool { return l.hot }
+
+// util returns fluid utilization: analytic shares plus packet reservations
+// over capacity.
+func (l *Link) util() float64 {
+	return (float64(l.sumRate) + float64(l.reserved)) / float64(l.Cap)
+}
+
+// FlowOpts describes one flow registration.
+type FlowOpts struct {
+	ID   uint64 // transport flow id, for traces (0 if unassigned)
+	Size int64  // payload bytes
+	Prio int    // traffic class
+	// Demand is the uncongested pacing rate; zero defaults to the first
+	// path link's serialization rate (the sender NIC line).
+	Demand simtime.Rate
+	// Eligible marks the flow analytic-capable. Transports whose
+	// uncongested behaviour the fluid model cannot reproduce exactly
+	// (TCP slow start) must pass false: the flow runs at packet level but
+	// still reserves its demand so analytic flows see its load.
+	Eligible bool
+}
+
+// Flow is one registered transfer. While Mode is ModeAnalytic the engine
+// owns its progress; after demotion the caller's startPacket transport owns
+// it and the engine only tracks the link reservation until PacketDone.
+type Flow struct {
+	ID     uint64
+	Size   int64
+	Prio   int
+	Demand simtime.Rate
+	Path   []*Link
+
+	Start simtime.Time
+	// End is the closed-form completion instant (valid while analytic):
+	// frame-exact sender serialization at Demand plus store-and-forward
+	// latency of the last frame across the remaining hops.
+	End simtime.Time
+
+	Mode Mode
+
+	// Frame geometry, fixed at registration.
+	nFrames  int64            // ceil(Size/MTU)
+	fullWire int              // MTU + header, bytes on the wire
+	lastWire int              // final frame's wire bytes
+	gap      simtime.Duration // full-frame pacing slot at Demand
+	sendEnd  simtime.Time     // sender hands the last byte to the NIC
+
+	frames    int64 // frames committed to the conservation ledger
+	completed bool
+
+	startPacket func(*Flow, int64)
+	onDone      func(*Flow, simtime.Time)
+
+	// Water-filling scratch.
+	share  float64
+	frozen bool
+}
+
+// AnalyticPayload returns the payload bytes committed in closed form so
+// far. For a demoted flow this is frozen at the demotion instant and
+// satisfies AnalyticPayload() + (bytes handed to startPacket) == Size.
+func (f *Flow) AnalyticPayload() int64 { return f.payloadOf(f.frames) }
+
+// payloadOf returns the payload bytes carried by the first k frames.
+func (f *Flow) payloadOf(k int64) int64 {
+	if k >= f.nFrames {
+		return f.Size
+	}
+	return k * int64(f.mtuPayload())
+}
+
+// wireOf returns the wire bytes of the first k frames.
+func (f *Flow) wireOf(k int64) int64 {
+	if k >= f.nFrames {
+		return int64(f.nFrames-1)*int64(f.fullWire) + int64(f.lastWire)
+	}
+	return k * int64(f.fullWire)
+}
+
+func (f *Flow) mtuPayload() int { return f.fullWire - netsim.DataHeaderBytes }
+
+// Engine is one hybrid-fidelity controller. It is driven either by its own
+// window-batched queue events (New + StartTicker, sequential runs) or by
+// explicit Tick calls at psim barriers (NewBarrier).
+type Engine struct {
+	Cfg Config
+
+	q     *eventq.Queue
+	clock func() simtime.Time
+
+	tracer *obs.Tracer
+
+	links  []*Link
+	flows  []*Flow   // live analytic flows, registration order
+	groups [][]*Link // ECMP groups: a member's up/down flip demotes them all
+
+	// inflight (barrier mode only) holds flows whose sender fully paced out
+	// before a demotion trigger hit their path: nothing is left to hand to
+	// the packet transport, so they complete analytically at End, detected
+	// at ticks like every barrier-mode completion.
+	inflight []*Flow
+
+	// Stats feed the run manifest (obs.Run.AddFidelity).
+	Stats obs.FidelitySummary
+
+	// Pre-bound callbacks so window ticks and completions ride eventq's
+	// pooled zero-alloc scheduling path.
+	tickFn     func(any)
+	completeFn func(any)
+	stopped    bool
+}
+
+// New returns an engine scheduling its own advance windows and exact-time
+// completions on q. Call StartTicker after registering links.
+func New(cfg Config, q *eventq.Queue, tracer *obs.Tracer) *Engine {
+	e := &Engine{Cfg: cfg, q: q, clock: q.Now, tracer: tracer}
+	e.tickFn = e.tickEvent
+	e.completeFn = e.completeEvent
+	return e
+}
+
+// NewBarrier returns an engine for barrier-driven runs (psim): the caller
+// invokes Tick at every barrier and clock reports the current barrier time.
+// Analytic completions fire at the first tick at-or-after their exact End;
+// the recorded End itself stays frame-exact.
+func NewBarrier(cfg Config, clock func() simtime.Time, tracer *obs.Tracer) *Engine {
+	return &Engine{Cfg: cfg, clock: clock, tracer: tracer}
+}
+
+// AddLink registers one modeled hop over a physical port, sharing the
+// port's line rate at its propagation delay, and marks the port analytic.
+func (e *Engine) AddLink(p *netsim.Port) *Link {
+	l := &Link{Port: p, Cap: p.Bandwidth, SerRate: p.Bandwidth, Delay: p.Delay}
+	p.SetFidelity(netsim.FidelityAnalytic)
+	e.links = append(e.links, l)
+	return l
+}
+
+// AddGroup registers an ECMP group: when any member link's up/down state
+// flips, the packet engine re-hashes every flow of the group onto the new
+// alive set, so the fluid model's per-uplink path assignments go stale. The
+// engine responds by demoting the whole group — the packet engine then
+// routes every affected flow with real per-packet ECMP, and the links earn
+// their way back analytic through the normal promotion hysteresis.
+func (e *Engine) AddGroup(links []*Link) {
+	e.groups = append(e.groups, links)
+}
+
+// StartTicker arms the self-re-arming window advance event (sequential
+// engines only).
+func (e *Engine) StartTicker() {
+	if e.q == nil {
+		panic("hybrid: StartTicker on a barrier-driven engine")
+	}
+	e.q.CallAfter(e.Cfg.Window, e.tickFn, nil)
+}
+
+// Stop halts the ticker after the current window; completions already
+// scheduled still fire.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) tickEvent(any) {
+	if e.stopped {
+		return
+	}
+	e.Tick(e.q.Now())
+	e.q.CallAfter(e.Cfg.Window, e.tickFn, nil)
+}
+
+// StartFlow registers a transfer over path. startPacket launches the
+// packet-level transport for the given remaining payload bytes — called
+// synchronously (now, or at a later trigger instant) exactly once unless
+// the flow completes analytically. onDone fires only for analytic
+// completion, at the flow's exact closed-form End; packet-mode completion
+// belongs to the transport, which must then call PacketDone.
+func (e *Engine) StartFlow(path []*Link, o FlowOpts, startPacket func(*Flow, int64), onDone func(*Flow, simtime.Time)) *Flow {
+	now := e.clock()
+	mtu := e.Cfg.MTU
+	if mtu <= 0 {
+		mtu = netsim.DefaultMTU
+	}
+	demand := o.Demand
+	if demand <= 0 {
+		demand = path[0].SerRate
+	}
+	f := &Flow{
+		ID: o.ID, Size: o.Size, Prio: o.Prio, Demand: demand, Path: path,
+		Start: now, startPacket: startPacket, onDone: onDone,
+	}
+	f.nFrames = (o.Size + int64(mtu) - 1) / int64(mtu)
+	if f.nFrames == 0 {
+		f.nFrames = 1
+	}
+	f.fullWire = mtu + netsim.DataHeaderBytes
+	last := o.Size - (f.nFrames-1)*int64(mtu)
+	f.lastWire = int(last) + netsim.DataHeaderBytes
+	f.gap = simtime.TxTime(f.fullWire, demand)
+	f.sendEnd = now.Add(simtime.Duration(f.nFrames-1) * f.gap).Add(simtime.TxTime(f.lastWire, demand))
+	e.Stats.FlowsStarted++
+
+	if !o.Eligible || e.pathBlocked(path) {
+		e.toPacket(f, now)
+		// The new reservation may push shared links over a trigger; apply
+		// it now so analytic peers demote at this instant, not a window
+		// later.
+		e.refill(now)
+		return f
+	}
+
+	// Tentative analytic admission, then re-fill; the fill may demote this
+	// flow (and any peers its arrival pushes over a trigger) immediately.
+	e.flows = append(e.flows, f)
+	for _, l := range path {
+		l.flows = append(l.flows, f)
+		l.sumRate += demand
+	}
+	e.refill(now)
+	if f.Mode == ModeAnalytic {
+		f.End = e.endTime(f)
+		if e.q != nil {
+			e.q.CallAt(f.End, e.completeFn, f)
+		}
+	}
+	return f
+}
+
+// pathBlocked reports whether any hop refuses analytic admission.
+func (e *Engine) pathBlocked(path []*Link) bool {
+	for _, l := range path {
+		if l.hot || l.Port.IsDown() {
+			return true
+		}
+	}
+	return false
+}
+
+// endTimeAt computes the closed-form completion instant: the sender
+// injects frame i at start + i*gap (the transport's pacing schedule), and
+// the last frame store-and-forwards across the hops. Full frames never
+// queue on an analytic path (every hop serializes at least as fast as the
+// pacing rate), but the smaller final frame catches up to its full-sized
+// predecessor and must wait for it hop by hop — the max term. Per-frame
+// TxTime rounding matches the packet engine's arithmetic exactly, so on an
+// otherwise idle path this is the nanosecond the packet engine would
+// deliver the last byte.
+func (f *Flow) endTimeAt(start simtime.Time) simtime.Time {
+	last := start.Add(simtime.Duration(f.nFrames-1) * f.gap)
+	multi := f.nFrames > 1
+	var full simtime.Time
+	if multi {
+		full = start.Add(simtime.Duration(f.nFrames-2) * f.gap)
+	}
+	for _, l := range f.Path {
+		if multi {
+			full = full.Add(simtime.TxTime(f.fullWire, l.SerRate))
+			if full > last {
+				last = full
+			}
+			full = full.Add(l.Delay)
+		}
+		last = last.Add(simtime.TxTime(f.lastWire, l.SerRate)).Add(l.Delay)
+	}
+	return last
+}
+
+func (e *Engine) endTime(f *Flow) simtime.Time { return f.endTimeAt(f.Start) }
+
+// commitTo advances the conservation ledger to the frames the sender has
+// fully paced out by time t, crediting their wire bytes to every crossed
+// port. Integer frame arithmetic: the committed payload is exact.
+func (e *Engine) commitTo(f *Flow, t simtime.Time) {
+	var target int64
+	switch {
+	case t >= f.sendEnd:
+		target = f.nFrames
+	case t <= f.Start:
+		target = 0
+	default:
+		target = int64(t.Sub(f.Start) / f.gap)
+		if target > f.nFrames-1 {
+			target = f.nFrames - 1
+		}
+	}
+	if target <= f.frames {
+		return
+	}
+	wire := uint64(f.wireOf(target) - f.wireOf(f.frames))
+	for _, l := range f.Path {
+		l.Port.CreditAnalyticTx(f.Prio, wire)
+	}
+	e.Stats.AnalyticPayload += uint64(f.payloadOf(target) - f.payloadOf(f.frames))
+	f.frames = target
+}
+
+// completeEvent fires at a flow's exact End (sequential engines). Stale
+// events — the flow demoted after scheduling — are no-ops.
+func (e *Engine) completeEvent(arg any) {
+	f := arg.(*Flow)
+	if f.Mode != ModeAnalytic || f.completed {
+		return
+	}
+	e.complete(f, f.End)
+}
+
+func (e *Engine) complete(f *Flow, end simtime.Time) {
+	f.completed = true
+	e.commitTo(f, f.sendEnd)
+	e.detach(f)
+	e.Stats.AnalyticFlows++
+	if f.onDone != nil {
+		f.onDone(f, end)
+	}
+}
+
+// detach removes an analytic flow from the engine and its links.
+func (e *Engine) detach(f *Flow) {
+	for _, l := range f.Path {
+		l.sumRate -= f.Demand
+		l.flows = removeFlow(l.flows, f)
+	}
+	e.flows = removeFlow(e.flows, f)
+}
+
+// removeFlow deletes f preserving registration order.
+func removeFlow(s []*Flow, f *Flow) []*Flow {
+	for i, g := range s {
+		if g == f {
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = nil
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// toPacket converts a flow to packet fidelity at time t: commit the
+// analytic ledger, reserve the flow's demand on its links, and hand the
+// transport the exact remainder. A flow whose sender already paced out
+// every frame has nothing left to send — its tail is in flight on a path
+// that was uncongested while it was committed — so it is not converted and
+// completes analytically at its closed-form End.
+func (e *Engine) toPacket(f *Flow, t simtime.Time) {
+	if f.Mode == ModeAnalytic && !f.completed {
+		e.commitTo(f, t)
+		if f.frames >= f.nFrames {
+			if e.q == nil {
+				e.inflight = append(e.inflight, f)
+			}
+			return // completion event (queue mode) or tick scan (barrier mode)
+		}
+	}
+	f.Mode = ModePacket
+	for _, l := range f.Path {
+		l.reserved += f.Demand
+		l.nPacket++
+	}
+	e.Stats.PacketFlows++
+	remaining := f.Size - f.AnalyticPayload()
+	f.startPacket(f, remaining)
+}
+
+// PacketDone releases a packet-mode flow's demand reservation; transports
+// call it from their completion callback.
+func (e *Engine) PacketDone(f *Flow) {
+	if f.Mode != ModePacket || f.completed {
+		return
+	}
+	f.completed = true
+	for _, l := range f.Path {
+		l.reserved -= f.Demand
+		l.nPacket--
+	}
+}
+
+// demoteLink demotes one link: mark it hot, then convert every analytic
+// flow crossing it (in global registration order) at time t.
+func (e *Engine) demoteLink(l *Link, t simtime.Time) {
+	if l.hot {
+		return
+	}
+	l.hot = true
+	l.cold = 0
+	l.Port.SetFidelity(netsim.FidelityPacket)
+	e.Stats.Demotions++
+	e.tracer.FidelityDemote(t, l.Port.Owner.ID(), l.Port.Index, len(l.flows), l.util())
+	for len(l.flows) > 0 {
+		f := l.flows[0]
+		e.detach(f)
+		e.toPacket(f, t)
+	}
+}
+
+// refill recomputes max-min shares and applies the fluid demotion
+// triggers, repeating until the share assignment is trigger-free: each
+// demotion converts flows to packet reservations, which changes the
+// water-filling problem for the flows that remain.
+func (e *Engine) refill(now simtime.Time) {
+	for {
+		e.waterfill()
+		if !e.applyFluidTriggers(now) {
+			return
+		}
+	}
+}
+
+// waterfill computes max-min shares by progressive filling: every round
+// raises all unfrozen flows by the largest uniform increment no link or
+// demand permits exceeding, then freezes saturated flows.
+func (e *Engine) waterfill() {
+	for _, l := range e.links {
+		l.avail = float64(l.Cap) - float64(l.reserved)
+		if l.avail < 0 {
+			l.avail = 0
+		}
+		l.nUn = len(l.flows)
+	}
+	unfrozen := 0
+	for _, f := range e.flows {
+		f.share = 0
+		f.frozen = false
+		unfrozen++
+	}
+	for unfrozen > 0 {
+		inc := math.Inf(1)
+		for _, l := range e.links {
+			if l.nUn > 0 {
+				if v := l.avail / float64(l.nUn); v < inc {
+					inc = v
+				}
+			}
+		}
+		for _, f := range e.flows {
+			if !f.frozen {
+				if v := float64(f.Demand) - f.share; v < inc {
+					inc = v
+				}
+			}
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		for _, f := range e.flows {
+			if !f.frozen {
+				f.share += inc
+			}
+		}
+		froze := 0
+		for _, f := range e.flows {
+			if f.frozen {
+				continue
+			}
+			sat := f.share >= float64(f.Demand)*(1-1e-12)
+			if !sat {
+				for _, l := range f.Path {
+					if l.avail-inc*float64(l.nUn) <= 1e-9*float64(l.Cap) {
+						sat = true
+						break
+					}
+				}
+			}
+			if sat {
+				f.frozen = true
+				froze++
+			}
+		}
+		for _, l := range e.links {
+			if l.nUn == 0 {
+				continue
+			}
+			l.avail -= inc * float64(l.nUn)
+			if l.avail < 0 {
+				l.avail = 0
+			}
+			n := 0
+			for _, f := range l.flows {
+				if !f.frozen {
+					n++
+				}
+			}
+			l.nUn = n
+		}
+		unfrozen -= froze
+		if froze == 0 {
+			// Numerical stall: freeze everything at current shares.
+			for _, f := range e.flows {
+				f.frozen = true
+			}
+			unfrozen = 0
+		}
+	}
+
+}
+
+// applyFluidTriggers demotes links the current share assignment disqualifies
+// and reports whether anything changed. Link-order evaluation keeps the
+// conversion sequence deterministic regardless of which condition fired.
+func (e *Engine) applyFluidTriggers(now simtime.Time) bool {
+	changed := false
+	// Near-saturation trigger: a shared link at DemoteUtil of capacity.
+	for _, l := range e.links {
+		if l.hot || len(l.flows) == 0 {
+			continue
+		}
+		if len(l.flows)+l.nPacket >= 2 && l.fluidShare()+float64(l.reserved) >= e.Cfg.DemoteUtil*float64(l.Cap) {
+			e.demoteLink(l, now)
+			changed = true
+		}
+	}
+	if changed {
+		return true
+	}
+	// Bottleneck trigger: a flow whose share fell short of demand would
+	// queue at its saturated hop and enter real congestion control.
+	for _, f := range e.flows {
+		if f.share >= float64(f.Demand)*(1-1e-9) {
+			continue
+		}
+		for _, l := range f.Path {
+			if l.avail <= 1e-9*float64(l.Cap) {
+				e.demoteLink(l, now)
+				changed = true
+			}
+		}
+		if f.Mode == ModeAnalytic {
+			// No saturated hop identified (numerical stall): demote the
+			// flow's first hop directly so the flow converts.
+			e.demoteLink(f.Path[0], now)
+			changed = true
+		}
+		// demoteLink compacted e.flows mid-range; shares are now stale, so
+		// hand control back for a fresh water-fill before scanning further.
+		return true
+	}
+	return changed
+}
+
+// fluidShare sums the water-filled shares of the link's analytic flows.
+func (l *Link) fluidShare() float64 {
+	s := 0.0
+	for _, f := range l.flows {
+		s += f.share
+	}
+	return s
+}
+
+// Tick advances one window at time now: complete flows past their End
+// (barrier-driven engines), commit the conservation ledger, and evaluate
+// the observed-state triggers and promotion hysteresis on every link.
+func (e *Engine) Tick(now simtime.Time) {
+	e.Stats.Ticks++
+	// Completions first (barrier mode; sequential engines already fired
+	// them as exact-time events and the guard below sees Mode/completed).
+	for i := 0; i < len(e.flows); {
+		f := e.flows[i]
+		if !f.completed && f.End <= now {
+			e.complete(f, f.End)
+			continue // complete compacted e.flows
+		}
+		i++
+	}
+	for i := 0; i < len(e.inflight); {
+		f := e.inflight[i]
+		if !f.completed && f.End > now {
+			i++
+			continue
+		}
+		if !f.completed {
+			e.complete(f, f.End)
+		}
+		e.inflight = removeFlow(e.inflight, f)
+	}
+	for _, f := range e.flows {
+		e.commitTo(f, now)
+	}
+	// ECMP re-hash guard: any up/down flip inside a group invalidates the
+	// per-uplink path assignment of every flow hashed across it (see
+	// AddGroup). Runs before per-link checks so wasDown still holds the
+	// previous window's state.
+	for _, g := range e.groups {
+		for _, l := range g {
+			if l.Port.IsDown() != l.wasDown {
+				for _, gl := range g {
+					e.demoteLink(gl, now)
+				}
+				break
+			}
+		}
+	}
+	for _, l := range e.links {
+		e.checkLink(l, now)
+	}
+}
+
+// checkLink applies the observed-state triggers (simulated state only) and
+// the promotion hysteresis to one link.
+func (e *Engine) checkLink(l *Link, now simtime.Time) {
+	p := l.Port
+	paused := p.PauseRxEvents > l.lastPauseRx
+	l.lastPauseRx = p.PauseRxEvents
+	l.wasDown = p.IsDown()
+	depth := 0
+	for _, q := range p.Queues {
+		if q.Bytes() > depth {
+			depth = q.Bytes()
+		}
+	}
+	queueHot := float64(depth) >= e.Cfg.QueueFrac*float64(e.Cfg.Kmin)
+	if p.IsDown() || paused || queueHot {
+		e.demoteLink(l, now)
+		l.cold = 0
+		return
+	}
+	if !l.hot {
+		return
+	}
+	// Quiet window: fluid load below the trigger and no packet symptoms.
+	if l.util() < e.Cfg.DemoteUtil {
+		l.cold++
+	} else {
+		l.cold = 0
+	}
+	if l.cold >= e.Cfg.PromoteAfter {
+		l.hot = false
+		l.cold = 0
+		p.SetFidelity(netsim.FidelityAnalytic)
+		e.Stats.Promotions++
+		e.tracer.FidelityPromote(now, p.Owner.ID(), p.Index, e.Cfg.PromoteAfter)
+	}
+}
+
+// AnalyticFlows returns the number of live analytic flows.
+func (e *Engine) AnalyticFlows() int { return len(e.flows) }
+
+// Links returns the registered links (read-only; used by adapters/tests).
+func (e *Engine) Links() []*Link { return e.links }

@@ -1,0 +1,144 @@
+package hybrid
+
+import (
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/topo"
+)
+
+// Mesh maps a built fabric onto hybrid links and resolves per-flow paths
+// with the packet engine's own ECMP hash, so a flow fast-forwarded in
+// closed form crosses exactly the physical ports its packets would have
+// crossed — per-spine uplinks included, because hash collisions congest
+// individual uplinks and an aggregate trunk model would never see it.
+type Mesh struct {
+	Eng *Engine
+
+	up        []*Link   // per host index (leaf-major): the host NIC egress
+	downHost  [][]*Link // [leaf][slot]: leaf port toward that host
+	uplinks   [][]*Link // [leaf][spine] (leaf-spine fabrics only)
+	downlinks [][]*Link // [spine][leaf]
+
+	leafID   []int // node id per leaf, for the ECMP hash
+	hostLeaf []int // per host index: serving leaf
+	hostSlot []int // per host index: position within the leaf
+	hostIdx  []int // node id -> host index (-1 for switches)
+
+	alive []int // Path scratch: alive spine indices during a fault
+}
+
+// ForTables registers every data-path egress port of a leaf–spine fabric
+// as a hybrid link, from the four physical port tables: hostUp[l][i] (host
+// NIC), leafDown[l][i] (leaf port toward that host), leafUp[l][s] and
+// spineDown[s][l] (nil/empty for single-switch fabrics). Both the
+// sequential topo.Fabric build and the sharded psim engine expose exactly
+// these tables, and both index them identically, so link registration
+// order — and with it every link-ordered trigger decision — is the same in
+// every engine layout. Each leaf's uplink row is registered as one ECMP
+// group (see Engine.AddGroup).
+func ForTables(e *Engine, hostUp, leafDown, leafUp, spineDown [][]*netsim.Port) *Mesh {
+	m := &Mesh{Eng: e}
+	maxID := 0
+	for _, row := range hostUp {
+		for _, p := range row {
+			if id := p.Owner.ID(); id > maxID {
+				maxID = id
+			}
+		}
+	}
+	m.hostIdx = make([]int, maxID+1)
+	for i := range m.hostIdx {
+		m.hostIdx[i] = -1
+	}
+	for l, row := range hostUp {
+		for slot, p := range row {
+			i := len(m.up)
+			m.up = append(m.up, e.AddLink(p))
+			m.hostLeaf = append(m.hostLeaf, l)
+			m.hostSlot = append(m.hostSlot, slot)
+			m.hostIdx[p.Owner.ID()] = i
+		}
+	}
+	m.downHost = make([][]*Link, len(leafDown))
+	m.leafID = make([]int, len(leafDown))
+	for l, row := range leafDown {
+		m.downHost[l] = make([]*Link, len(row))
+		for slot, p := range row {
+			m.leafID[l] = p.Owner.ID()
+			m.downHost[l][slot] = e.AddLink(p)
+		}
+	}
+	if len(leafUp) > 0 {
+		m.uplinks = make([][]*Link, len(leafUp))
+		for l, row := range leafUp {
+			m.uplinks[l] = make([]*Link, len(row))
+			for s, p := range row {
+				m.uplinks[l][s] = e.AddLink(p)
+			}
+			// Each leaf's uplinks form one ECMP group: a member flipping
+			// up/down re-hashes every flow crossing the group.
+			e.AddGroup(m.uplinks[l])
+		}
+		m.downlinks = make([][]*Link, len(spineDown))
+		for s, row := range spineDown {
+			m.downlinks[s] = make([]*Link, len(row))
+			for l, p := range row {
+				m.downlinks[s][l] = e.AddLink(p)
+			}
+		}
+	}
+	return m
+}
+
+// ForFabric builds the Mesh over a sequential topo build (Star, LeafSpine,
+// and derivatives) by assembling its port tables and delegating to
+// ForTables.
+func ForFabric(e *Engine, f *topo.Fabric) *Mesh {
+	hostUp := make([][]*netsim.Port, len(f.HostsAt))
+	leafDown := make([][]*netsim.Port, len(f.HostsAt))
+	for l, hosts := range f.HostsAt {
+		hostUp[l] = make([]*netsim.Port, len(hosts))
+		leafDown[l] = make([]*netsim.Port, len(hosts))
+		for i, h := range hosts {
+			hostUp[l][i] = h.Port
+			// Host-facing leaf ports are created in attachment order,
+			// before any uplinks, so i indexes the leaf's ports directly.
+			leafDown[l][i] = f.Leaves[l].Ports[i]
+		}
+	}
+	return ForTables(e, hostUp, leafDown, f.Uplinks, f.Downlinks)
+}
+
+// Path resolves the egress-port sequence flow id would traverse from src to
+// dst. Cross-leaf paths pick the spine with netsim.EcmpIndex — the packet
+// engine's own hash over (flow id, source leaf node id) — so the fluid
+// model loads the same physical uplink ECMP would.
+func (m *Mesh) Path(id netsim.FlowID, src, dst *netsim.Host) []*Link {
+	si, di := m.hostIdx[src.ID()], m.hostIdx[dst.ID()]
+	sl, dl := m.hostLeaf[si], m.hostLeaf[di]
+	if sl == dl {
+		return []*Link{m.up[si], m.downHost[dl][m.hostSlot[di]]}
+	}
+	// Hash over the alive uplinks only, exactly like Switch.ecmpPick: a
+	// down uplink shrinks the candidate set before the modulo.
+	row := m.uplinks[sl]
+	m.alive = m.alive[:0]
+	for s, lk := range row {
+		if !lk.Port.IsDown() {
+			m.alive = append(m.alive, s)
+		}
+	}
+	var s int
+	if len(m.alive) == len(row) {
+		s = netsim.EcmpIndex(id, m.leafID[sl], len(row))
+	} else if len(m.alive) == 0 {
+		s = 0 // no alive uplink: the blocked path demotes the flow at start
+	} else {
+		s = m.alive[netsim.EcmpIndex(id, m.leafID[sl], len(m.alive))]
+	}
+	return []*Link{
+		m.up[si],
+		m.uplinks[sl][s],
+		m.downlinks[s][dl],
+		m.downHost[dl][m.hostSlot[di]],
+	}
+}

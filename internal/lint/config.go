@@ -98,11 +98,11 @@ func DefaultConfig() *Config {
 		DeterministicPkgs: internalPkgs(
 			"simtime", "eventq", "netsim", "red", "dcqcn", "tcp", "topo",
 			"workload", "rl", "acc", "exp", "faults", "stats", "obs",
-			"psim",
+			"psim", "hybrid",
 		),
 		// Packages whose scheduling must stay on the closure-free typed
 		// fast path (pre-bound method values, pooled events).
-		EnginePkgs: internalPkgs("eventq", "netsim", "tcp", "dcqcn", "stats"),
+		EnginePkgs: internalPkgs("eventq", "netsim", "tcp", "dcqcn", "stats", "hybrid"),
 		QueueTypes: []string{Module + "/internal/eventq.Queue"},
 		TracerTypes: []string{
 			Module + "/internal/obs.Tracer",
@@ -133,6 +133,14 @@ func DefaultConfig() *Config {
 			Module + "/internal/stats.QueueMonitor.tick",
 			Module + "/internal/stats.ThroughputMeter.tick",
 			Module + "/internal/eventq.Queue.Step",
+			// Hybrid fast-path analytic advance: the window tick and
+			// exact-time completion callbacks (queue mode), the barrier
+			// tick (psim mode), and the fill/commit kernels they reach.
+			Module + "/internal/hybrid.Engine.tickEvent",
+			Module + "/internal/hybrid.Engine.completeEvent",
+			Module + "/internal/hybrid.Engine.Tick",
+			Module + "/internal/hybrid.Engine.commitTo",
+			Module + "/internal/hybrid.Engine.waterfill",
 		},
 		Allow: []AllowEntry{
 			{

@@ -129,11 +129,18 @@ func Connect(a, b *Port) {
 
 // RemoteEnd is the far end of a link whose peer port lives in another
 // shard's Network. The transmitting shard calls Deliver when a packet
-// finishes serializing; the implementation (internal/psim) buffers the
-// copied packet until the next barrier and injects it into the receiving
-// shard's queue with Port.ScheduleRemoteArrival, preserving at and key.
+// finishes serializing, handing over ownership of the Packet object itself;
+// the implementation (internal/psim) buffers it until the next barrier and
+// injects it into the receiving shard's queue with
+// Port.ScheduleRemoteArrival, preserving at and key. The object is adopted
+// by the receiving Network — consumed and released into its pool — so the
+// steady-state cross-shard path allocates nothing and packet objects
+// migrate between shard pools at exactly the rate traffic does. The
+// hand-off is race-free because the sync layer orders it: the transmitting
+// worker's window happens-before the coordinator's exchange, which
+// happens-before the receiving worker's next window.
 type RemoteEnd interface {
-	Deliver(pkt Packet, at simtime.Time, key uint64)
+	Deliver(pkt *Packet, at simtime.Time, key uint64)
 }
 
 // ConnectRemote wires p as the local end of a cross-shard link. rxNode and

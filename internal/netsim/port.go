@@ -43,13 +43,14 @@ type EgressQueue struct {
 	inTurn  bool // whether the queue was replenished for the current turn
 
 	// Cumulative counters (monotonic; consumers take deltas).
-	TxBytes       uint64 // bytes fully serialized onto the link
-	TxPackets     uint64
-	TxMarkedBytes uint64 // bytes of packets that left with CE set
-	TxMarkedPkts  uint64
-	EnqBytes      uint64
-	DropPackets   uint64 // WRED drops of non-ECT traffic
-	DropBytes     uint64
+	TxBytes         uint64 // bytes fully serialized onto the link
+	AnalyticTxBytes uint64 // wire bytes fast-forwarded in closed form (internal/hybrid)
+	TxPackets       uint64
+	TxMarkedBytes   uint64 // bytes of packets that left with CE set
+	TxMarkedPkts    uint64
+	EnqBytes        uint64
+	DropPackets     uint64 // WRED drops of non-ECT traffic
+	DropBytes       uint64
 }
 
 // Len returns the number of queued packets.
@@ -147,13 +148,17 @@ type Port struct {
 	arriveFn       func(any)
 	remoteArriveFn func(any)
 
+	// fidelity is the hybrid-engine bookkeeping mode; see SetFidelity.
+	fidelity Fidelity
+
 	// Cumulative counters.
-	TxBytesTotal   uint64
-	RxBytesTotal   uint64
-	PauseRxEvents  uint64 // pause frames received (transmitter-side stalls)
-	PauseTxEvents  uint64 // pause frames sent (receiver-side congestion)
-	PausedDuration simtime.Duration
-	pausedSince    [NumPrio]simtime.Time
+	TxBytesTotal    uint64
+	AnalyticTxBytes uint64 // wire bytes fast-forwarded in closed form (internal/hybrid)
+	RxBytesTotal    uint64
+	PauseRxEvents   uint64 // pause frames received (transmitter-side stalls)
+	PauseTxEvents   uint64 // pause frames sent (receiver-side congestion)
+	PausedDuration  simtime.Duration
+	pausedSince     [NumPrio]simtime.Time
 
 	// Blackhole counters: packets lost on this transmitter because the link
 	// was down when they finished serializing or when they would have
@@ -473,15 +478,14 @@ func (p *Port) txDone(arg any) {
 // same-nanosecond tie order is a property of the traffic, not of scheduling
 // history — the invariant that lets a sharded engine merge cross-shard
 // arrivals bit-identically (see eventq.CallAtSeq). When the far end lives in
-// another shard, the packet is handed over by value and the local copy
-// retired.
+// another shard, ownership of the packet object transfers to the receiving
+// Network (see RemoteEnd); this side never touches it again.
 func (p *Port) deliver(pkt *Packet) {
 	at := p.net.Q.Now().Add(p.Delay)
 	key := eventq.KeyedSeq(p.rxStream, p.txSeq)
 	p.txSeq++
 	if p.remote != nil {
-		p.remote.Deliver(*pkt, at, key)
-		p.net.ReleasePacket(pkt)
+		p.remote.Deliver(pkt, at, key)
 		return
 	}
 	p.net.Q.CallAtSeq(at, key, p.arriveFn, pkt)
@@ -502,15 +506,16 @@ func (p *Port) arrive(arg any) {
 }
 
 // ScheduleRemoteArrival accepts a packet that finished propagating from a
-// transmitter in another shard: it copies the packet into this (receiving)
-// port's Network pool and schedules the arrival at the original time with
-// the original key. The sync layer guarantees at is still in this shard's
-// future when injection happens (conservative lookahead), so the keyed event
-// lands in exactly the schedule position it holds in a sequential run.
-func (p *Port) ScheduleRemoteArrival(pkt Packet, at simtime.Time, key uint64) {
-	np := p.net.AllocPacket()
-	*np = pkt
-	p.net.Q.CallAtSeq(at, key, p.remoteArriveFn, np)
+// transmitter in another shard: it adopts the Packet object into this
+// (receiving) Network — the consumer eventually releases it into this
+// shard's pool — and schedules the arrival at the original time with the
+// original key, allocating nothing. The sync layer guarantees at is still
+// in this shard's future when injection happens (conservative lookahead),
+// so the keyed event lands in exactly the schedule position it holds in a
+// sequential run, and guarantees the transmitter no longer touches the
+// object (see RemoteEnd).
+func (p *Port) ScheduleRemoteArrival(pkt *Packet, at simtime.Time, key uint64) {
+	p.net.Q.CallAtSeq(at, key, p.remoteArriveFn, pkt)
 }
 
 // remoteArrive is arrive for the receiving end of a cross-shard link. The

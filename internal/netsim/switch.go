@@ -189,15 +189,25 @@ func (s *Switch) ecmpPick(ports []*Port, f FlowID) *Port {
 		}
 	}
 	ports = alive
-	if len(ports) == 1 {
-		return ports[0]
+	return ports[EcmpIndex(f, s.id, len(ports))]
+}
+
+// EcmpIndex returns the candidate index ecmpPick selects for flow f at the
+// switch with the given node id, when all n candidates are alive. It is
+// exported so the hybrid fluid model (internal/hybrid) can replicate the
+// packet engine's per-flow path choice exactly: a flow modeled analytically
+// must occupy the same leaf-spine link the packet engine would carry it on,
+// or the fluid utilization the demotion triggers read would be wrong.
+func EcmpIndex(f FlowID, node, n int) int {
+	if n <= 1 {
+		return 0
 	}
 	h := uint64(f) * 0x9e3779b97f4a7c15
 	h ^= h >> 29
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 32
-	h += uint64(s.id) * 0x94d049bb133111eb
-	return ports[h%uint64(len(ports))]
+	h += uint64(node) * 0x94d049bb133111eb
+	return int(h % uint64(n))
 }
 
 // Receive implements Node. Data packets are forwarded; PFC frames act on the

@@ -26,12 +26,51 @@ type Manifest struct {
 	EventsProcessed uint64 `json:"events_processed"`
 	PacketsAlloced  uint64 `json:"packets_alloced"`
 
+	// Fidelity summarizes hybrid-fidelity activity (internal/hybrid): how
+	// much of the run was fast-forwarded in closed form and how often links
+	// crossed the analytic/packet boundary. Nil for pure packet-level runs.
+	Fidelity *FidelitySummary `json:"fidelity,omitempty"`
+
 	// Trace totals at finish time.
 	TraceEmitted  uint64            `json:"trace_emitted"`
 	TraceByKind   map[string]uint64 `json:"trace_by_kind,omitempty"`
 	DropsByReason map[string]uint64 `json:"drops_by_reason,omitempty"`
 	TraceRingCap  int               `json:"trace_ring_cap"`
 	TraceResident int               `json:"trace_resident"`
+}
+
+// FidelitySummary aggregates one or more hybrid engines' mode accounting
+// for the manifest. All fields are sums; AddFidelity merges engines.
+type FidelitySummary struct {
+	FlowsStarted    uint64 `json:"flows_started"`          // flows registered with a hybrid engine
+	AnalyticFlows   uint64 `json:"analytic_flows"`         // flows completed entirely in closed form
+	PacketFlows     uint64 `json:"packet_flows"`           // flows started at or demoted to packet level
+	Demotions       uint64 `json:"demotions"`              // link analytic→packet transitions
+	Promotions      uint64 `json:"promotions"`             // link packet→analytic transitions
+	AnalyticPayload uint64 `json:"analytic_payload_bytes"` // payload bytes delivered in closed form
+	Ticks           uint64 `json:"ticks"`                  // analytic advance windows executed
+}
+
+// AddFidelity merges one hybrid engine's summary into the manifest,
+// allocating the aggregate on first use. Runs that build several engines
+// (one per policy arm) report their combined totals.
+func (r *Run) AddFidelity(s FidelitySummary) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.man.Fidelity == nil {
+		r.man.Fidelity = &FidelitySummary{}
+	}
+	f := r.man.Fidelity
+	f.FlowsStarted += s.FlowsStarted
+	f.AnalyticFlows += s.AnalyticFlows
+	f.PacketFlows += s.PacketFlows
+	f.Demotions += s.Demotions
+	f.Promotions += s.Promotions
+	f.AnalyticPayload += s.AnalyticPayload
+	f.Ticks += s.Ticks
 }
 
 // EncodeJSON writes the manifest as indented JSON.

@@ -38,6 +38,8 @@ const (
 	KindTCPRTO                // TCP retransmission timeout fired
 	KindAgent                 // ACC agent state→action→reward transition
 	KindLink                  // link administrative state change (up/down)
+	KindDemote                // hybrid engine demoted a link to packet fidelity
+	KindPromote               // hybrid engine promoted a link back to analytic fidelity
 
 	numKinds
 )
@@ -64,6 +66,10 @@ func (k Kind) String() string {
 		return "agent_step"
 	case KindLink:
 		return "link_state"
+	case KindDemote:
+		return "fidelity_demote"
+	case KindPromote:
+		return "fidelity_promote"
 	}
 	return "unknown"
 }
@@ -108,6 +114,8 @@ func (r DropReason) String() string {
 //	KindTCPRTO:  V1=RTO seconds
 //	KindAgent:   V1=reward, V2=utilization proxy (unused today)
 //	KindLink:    V1=1 down, 0 up
+//	KindDemote:  V1=analytic flows converted, V2=fluid utilization at the trigger
+//	KindPromote: V1=cold windows observed before promotion
 type Record struct {
 	Time   simtime.Time
 	Kind   Kind
@@ -270,6 +278,27 @@ func (t *Tracer) AgentStep(now simtime.Time, node, queue, prio, action int, rewa
 	}
 	t.emit(Record{Time: now, Kind: KindAgent,
 		Node: int32(node), Port: int32(queue), Prio: int32(prio), Action: int32(action), V1: reward})
+}
+
+// FidelityDemote records a hybrid-engine link demotion: the analytic flows
+// crossing the port were converted to packet level (flows of them) because a
+// deterministic trigger fired at fluid utilization util.
+func (t *Tracer) FidelityDemote(now simtime.Time, node, port, flows int, util float64) {
+	if t == nil {
+		return
+	}
+	t.emit(Record{Time: now, Kind: KindDemote,
+		Node: int32(node), Port: int32(port), Prio: -1, V1: float64(flows), V2: util})
+}
+
+// FidelityPromote records a hybrid-engine link promotion back to analytic
+// fidelity after cold consecutive quiet windows.
+func (t *Tracer) FidelityPromote(now simtime.Time, node, port, cold int) {
+	if t == nil {
+		return
+	}
+	t.emit(Record{Time: now, Kind: KindPromote,
+		Node: int32(node), Port: int32(port), Prio: -1, V1: float64(cold)})
 }
 
 // LinkState records an administrative link up/down transition.

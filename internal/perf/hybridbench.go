@@ -1,0 +1,153 @@
+package perf
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/accnet/acc/internal/dcqcn"
+	"github.com/accnet/acc/internal/hybrid"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/obs"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/topo"
+)
+
+// HybridOptions sizes the hybrid-fidelity benchmark: an uncongested
+// cross-leaf workload on a 2304-host fabric, run once at pure packet
+// fidelity and once through the flow-level fast-forward engine
+// (internal/hybrid), over the identical span of virtual time.
+type HybridOptions struct {
+	Seed         int64
+	Leaves       int
+	HostsPerLeaf int
+	Spines       int
+
+	// SendersPerLeaf hosts per leaf each drive a renewing stream of FlowSize
+	// transfers to the same-indexed host on the next leaf. Kept well below
+	// the oversubscription point so the fluid model keeps (nearly) all
+	// traffic analytic — the scenario the fast path exists for.
+	SendersPerLeaf int
+	FlowSize       int64
+
+	Warmup simtime.Duration
+	Window simtime.Duration
+}
+
+// DefaultHybridOptions returns the standard configuration: the 2304-host
+// fabric of the sharded benchmark (24 leaves x 96 hosts, 12 spines), 8
+// senders per leaf renewing 1 MB flows — 192 concurrent line-rate transfers
+// whose paths stay under every demotion trigger except the occasional
+// unlucky ECMP pile-up. The window spans a full flow lifetime (~335us at
+// 25G) plus renewal churn.
+func DefaultHybridOptions() HybridOptions {
+	return HybridOptions{
+		Seed:           1,
+		Leaves:         24,
+		HostsPerLeaf:   96,
+		Spines:         12,
+		SendersPerLeaf: 8,
+		FlowSize:       simtime.MB,
+		Warmup:         100 * simtime.Microsecond,
+		Window:         400 * simtime.Microsecond,
+	}
+}
+
+// HybridResult compares one packet-fidelity and one hybrid-fidelity
+// execution of the identical workload over the identical virtual window.
+// Speedup is packet wall time over hybrid wall time; EquivEventsPerSec is
+// the ISSUE metric — the packet-level event count (the work the fast path
+// made unnecessary) divided by the hybrid run's wall time, i.e. the rate at
+// which hybrid simulates packet-equivalent traffic.
+type HybridResult struct {
+	Hosts    int `json:"hosts"`
+	Senders  int `json:"senders"`
+	MaxProcs int `json:"maxprocs"`
+
+	Packet CoreResult `json:"packet"`
+	Hybrid CoreResult `json:"hybrid"`
+
+	Speedup           float64 `json:"speedup"`
+	EquivEventsPerSec float64 `json:"equiv_events_per_sec"`
+
+	// Fidelity is the hybrid engine's mode accounting for the run: how much
+	// traffic fast-forwarded and how often triggers demoted a hotspot (ECMP
+	// pile-ups are possible at any load — renewals re-hash).
+	Fidelity obs.FidelitySummary `json:"fidelity"`
+}
+
+// hybridWorkload starts the renewing sender set on any fabric; start is
+// called once per (src, dst, renewal) and must arrange its own renewal.
+func forEachSender(o HybridOptions, fab *topo.Fabric, start func(src, dst *netsim.Host)) {
+	for l := 0; l < o.Leaves; l++ {
+		for s := 0; s < o.SendersPerLeaf; s++ {
+			start(fab.HostsAt[l][s], fab.HostsAt[(l+1)%o.Leaves][s])
+		}
+	}
+}
+
+// RunHybridCore executes the hybrid benchmark: the identical renewing
+// workload at packet and hybrid fidelity, reporting both engine measurements
+// and their ratio. The hybrid run checks byte conservation at every
+// demotion (panic on violation) — the benchmark doubles as a correctness
+// sweep at a scale the unit tests don't reach.
+func RunHybridCore(o HybridOptions) HybridResult {
+	cfg := topo.DefaultConfig()
+	params := dcqcn.DefaultParams(cfg.HostBW)
+
+	// Packet-fidelity baseline.
+	pktNet := netsim.New(o.Seed)
+	pktFab := topo.LeafSpine(pktNet, o.Leaves, o.HostsPerLeaf, o.Spines, cfg)
+	forEachSender(o, pktFab, func(src, dst *netsim.Host) {
+		var loop func()
+		loop = func() {
+			dcqcn.Start(pktNet, src, dst, o.FlowSize, params, func(*dcqcn.Flow) { loop() })
+		}
+		loop()
+	})
+	pkt := measure(o.Warmup, o.Window, pktNet.Q.RunBefore, pktNet.Q.Processed)
+
+	// Hybrid fidelity: same fabric, same senders, flows registered with the
+	// fast-forward engine and demoted to real DCQCN only when a trigger
+	// fires.
+	hybNet := netsim.New(o.Seed)
+	hybFab := topo.LeafSpine(hybNet, o.Leaves, o.HostsPerLeaf, o.Spines, cfg)
+	eng := hybrid.New(hybrid.DefaultConfig(), hybNet.Q, hybNet.Tracer)
+	mesh := hybrid.ForFabric(eng, hybFab)
+	forEachSender(o, hybFab, func(src, dst *netsim.Host) {
+		var loop func()
+		loop = func() {
+			id := hybNet.NextFlowID()
+			eng.StartFlow(mesh.Path(id, src, dst),
+				hybrid.FlowOpts{ID: uint64(id), Size: o.FlowSize, Prio: params.Prio, Eligible: true},
+				func(f *hybrid.Flow, remaining int64) {
+					if f.AnalyticPayload()+remaining != o.FlowSize {
+						panic(fmt.Sprintf("perf: conservation violated at demotion: %d + %d != %d",
+							f.AnalyticPayload(), remaining, o.FlowSize))
+					}
+					dcqcn.StartReceiver(id, src.ID(), dst, remaining, params, func(*dcqcn.Receiver) {
+						eng.PacketDone(f)
+						loop()
+					})
+					dcqcn.StartSender(hybNet, id, src, dst.ID(), remaining, params)
+				},
+				func(*hybrid.Flow, simtime.Time) { loop() })
+		}
+		loop()
+	})
+	eng.StartTicker()
+	hyb := measure(o.Warmup, o.Window, hybNet.Q.RunBefore, hybNet.Q.Processed)
+
+	res := HybridResult{
+		Hosts:    o.Leaves * o.HostsPerLeaf,
+		Senders:  o.Leaves * o.SendersPerLeaf,
+		MaxProcs: runtime.GOMAXPROCS(0),
+		Packet:   pkt,
+		Hybrid:   hyb,
+		Fidelity: eng.Stats,
+	}
+	if hyb.WallSeconds > 0 {
+		res.Speedup = pkt.WallSeconds / hyb.WallSeconds
+		res.EquivEventsPerSec = float64(pkt.Events) / hyb.WallSeconds
+	}
+	return res
+}

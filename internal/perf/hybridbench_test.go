@@ -1,0 +1,47 @@
+package perf
+
+import (
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// TestHybridCoreSpeedup runs the hybrid benchmark on a reduced fabric and
+// checks its invariants: the packet baseline does real per-packet work, the
+// hybrid run fast-forwards the overwhelming majority of it (every demotion
+// is conservation-checked inside RunHybridCore — a violation panics), and
+// the wall-clock win is material even at test scale. The 2304-host
+// configuration asserted in ROADMAP/ISSUE acceptance runs via accbench
+// -fidelity hybrid.
+func TestHybridCoreSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	o := HybridOptions{
+		Seed: 1, Leaves: 6, HostsPerLeaf: 8, Spines: 4,
+		SendersPerLeaf: 4,
+		FlowSize:       simtime.MB,
+		Warmup:         100 * simtime.Microsecond,
+		Window:         400 * simtime.Microsecond,
+	}
+	r := RunHybridCore(o)
+	if r.Packet.Events == 0 {
+		t.Fatal("packet baseline executed no events")
+	}
+	if r.Hybrid.Events >= r.Packet.Events/5 {
+		t.Fatalf("hybrid run executed %d events vs packet %d; fast path is not fast-forwarding",
+			r.Hybrid.Events, r.Packet.Events)
+	}
+	if r.Fidelity.FlowsStarted == 0 || r.Fidelity.AnalyticFlows == 0 {
+		t.Fatalf("implausible fidelity accounting: %+v", r.Fidelity)
+	}
+	if r.Fidelity.AnalyticPayload == 0 {
+		t.Fatal("no payload committed analytically")
+	}
+	if r.Speedup <= 1 {
+		t.Fatalf("speedup %.2f; hybrid should beat packet fidelity outright", r.Speedup)
+	}
+	if r.Hosts != 48 || r.Senders != 24 {
+		t.Fatalf("geometry: %d hosts, %d senders", r.Hosts, r.Senders)
+	}
+}

@@ -57,6 +57,11 @@ type ShardResult struct {
 	MaxProcs int     `json:"maxprocs"`
 	Speedup  float64 `json:"speedup"`
 
+	// Note is non-empty when the measurement conditions undermine the
+	// headline number — currently when MaxProcs is 1, where "speedup" can
+	// only measure synchronization overhead, never parallel scaling.
+	Note string `json:"note,omitempty"`
+
 	Sequential CoreResult `json:"sequential"`
 	Sharded    CoreResult `json:"sharded"`
 }
@@ -81,22 +86,22 @@ func shardPlan(o ShardOptions, cfg topo.Config) *psim.Plan {
 
 // measure runs warmup then the measured window via run(horizon), using
 // events(), and returns the window's engine metrics.
-func measure(o ShardOptions, run func(simtime.Time), events func() uint64) CoreResult {
-	run(simtime.Time(0).Add(o.Warmup))
+func measure(warmup, window simtime.Duration, run func(simtime.Time), events func() uint64) CoreResult {
+	run(simtime.Time(0).Add(warmup))
 
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	ev0 := events()
 	start := time.Now()
-	run(simtime.Time(0).Add(o.Warmup + o.Window))
+	run(simtime.Time(0).Add(warmup + window))
 	wall := time.Since(start).Seconds()
 	ev := events() - ev0
 	runtime.ReadMemStats(&after)
 
 	r := CoreResult{
 		Events:      ev,
-		VirtualUsec: o.Window.Seconds() * 1e6,
+		VirtualUsec: window.Seconds() * 1e6,
 		WallSeconds: wall,
 	}
 	if ev > 0 {
@@ -124,7 +129,7 @@ func RunShardedCore(o ShardOptions) ShardResult {
 	seqNet := netsim.New(o.Seed)
 	seqFab := topo.LeafSpine(seqNet, o.Leaves, o.HostsPerLeaf, o.Spines, cfg)
 	psim.ApplyToFabric(seqFab, o.HostsPerLeaf, plan)
-	seq := measure(o, seqNet.Q.RunBefore, seqNet.Q.Processed)
+	seq := measure(o.Warmup, o.Window, seqNet.Q.RunBefore, seqNet.Q.Processed)
 
 	// Sharded engine: K shard-local queues under conservative barrier sync.
 	eng := psim.Build(psim.Config{
@@ -132,7 +137,7 @@ func RunShardedCore(o ShardOptions) ShardResult {
 		Shards: o.Shards, Seed: o.Seed, Topo: cfg,
 	})
 	eng.Apply(plan)
-	shr := measure(o, eng.Run, eng.Processed)
+	shr := measure(o.Warmup, o.Window, eng.Run, eng.Processed)
 
 	if shr.Events != seq.Events {
 		panic("perf: sharded engine executed a different event count than the sequential engine")
@@ -143,6 +148,9 @@ func RunShardedCore(o ShardOptions) ShardResult {
 		MaxProcs:   runtime.GOMAXPROCS(0),
 		Sequential: seq,
 		Sharded:    shr,
+	}
+	if res.MaxProcs == 1 {
+		res.Note = "maxprocs=1: shards ran time-sliced on one thread; speedup measures synchronization overhead, not parallel scaling"
 	}
 	if shr.WallSeconds > 0 {
 		res.Speedup = seq.WallSeconds / shr.WallSeconds

@@ -1,0 +1,128 @@
+package psim
+
+// Hybrid-fidelity plans: the flow-level fast-forward engine (internal/hybrid)
+// running over a sharded fabric. The hybrid engine is coordinator state — it
+// is built over the global port tables and driven exclusively from a barrier
+// hook, where all shards are quiescent, so its triggers read cross-shard
+// state races-free and its demotions may start packet transports on the
+// owning shards' queues synchronously (see Engine.OnBarrier). Everything the
+// engine consumes is barrier-sampled simulated state, and the barrier
+// cadence is a property of the topology, not of the shard count
+// (topo.Partition.Lookahead), so every layout sees identical trigger
+// decisions at identical instants: hybrid runs stay bit-identical across
+// layouts just like pure packet runs (TestHybridLayoutIdentity).
+
+import (
+	"github.com/accnet/acc/internal/dcqcn"
+	"github.com/accnet/acc/internal/faults"
+	"github.com/accnet/acc/internal/hybrid"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/tcp"
+)
+
+// ApplyHybrid instantiates the plan with hybrid fidelity: DCQCN flows
+// register analytic-eligible and fast-forward in closed form until a trigger
+// demotes them into the real transport with the exact remaining bytes; TCP
+// flows run at packet level but reserve their demand so analytic flows see
+// their load. Flow ids are position-implied (netsim.FlowID(i+1)), exactly as
+// in Apply, so a demoted flow ECMP-hashes onto the same uplink its packets
+// use in a pure packet run.
+//
+// Because the hybrid engine only acts at barriers, flow starts are quantized
+// to the first barrier at-or-after FlowSpec.Start (specs due at or before
+// the current barrier start immediately, in plan order). That cadence is
+// layout-invariant, so quantization never breaks cross-layout identity —
+// but Applied.End values are comparable to Apply's only within one window.
+//
+// Call after Build and before Run; returns the Applied results and the
+// hybrid engine for stats/assertions. Faults are scheduled exactly as in
+// Apply.
+func (e *Engine) ApplyHybrid(p *Plan, cfg hybrid.Config) (*Applied, *hybrid.Engine) {
+	eng := hybrid.NewBarrier(cfg, e.Now, e.Shards[0].Net.Tracer)
+	mesh := hybrid.ForTables(eng, e.HostUp, e.LeafDown, e.LeafUp, e.SpineDown)
+
+	n := len(p.Flows)
+	res := &Applied{
+		Plan:      p,
+		DCQCNSend: make([]*dcqcn.Flow, n),
+		DCQCNRecv: make([]*dcqcn.Receiver, n),
+		TCPSend:   make([]*tcp.Flow, n),
+		TCPRecv:   make([]*tcp.Receiver, n),
+		End:       make([]simtime.Time, n),
+	}
+
+	start := func(i int) {
+		fs := p.Flows[i]
+		id := netsim.FlowID(i + 1)
+		src, dst := e.Hosts[fs.Src.Leaf][fs.Src.Host], e.Hosts[fs.Dst.Leaf][fs.Dst.Host]
+		path := mesh.Path(id, src, dst)
+		switch fs.Transport {
+		case TransportDCQCN:
+			eng.StartFlow(path,
+				hybrid.FlowOpts{ID: uint64(id), Size: fs.Size, Prio: p.DCQCN.Prio, Eligible: true},
+				func(f *hybrid.Flow, remaining int64) {
+					// Receiver first, then sender — applyPlan's fixed order.
+					res.DCQCNRecv[i] = dcqcn.StartReceiver(id, src.ID(), dst, remaining, p.DCQCN, func(r *dcqcn.Receiver) {
+						res.End[i] = r.End
+						eng.PacketDone(f)
+					})
+					res.DCQCNSend[i] = dcqcn.StartSender(src.Net(), id, src, dst.ID(), remaining, p.DCQCN)
+				},
+				func(f *hybrid.Flow, end simtime.Time) { res.End[i] = end })
+		case TransportTCP:
+			eng.StartFlow(path,
+				hybrid.FlowOpts{ID: uint64(id), Size: fs.Size, Prio: p.TCP.Prio},
+				func(f *hybrid.Flow, remaining int64) {
+					res.TCPRecv[i] = tcp.StartReceiver(id, src.ID(), dst, remaining, p.TCP, func(r *tcp.Receiver) {
+						res.End[i] = r.End
+						eng.PacketDone(f)
+					})
+					res.TCPSend[i] = tcp.StartSender(src.Net(), id, src, dst.ID(), remaining, p.TCP)
+				},
+				nil)
+		}
+	}
+
+	// pending holds plan indices not yet started, in plan order; each barrier
+	// starts every spec that has come due, preserving that order.
+	pending := make([]int, 0, n)
+	now := e.Now()
+	for i, fs := range p.Flows {
+		if fs.Start <= now {
+			start(i)
+		} else {
+			pending = append(pending, i)
+		}
+	}
+	e.OnBarrier(func(b simtime.Time) {
+		// Advance the engine first: completions past their End and trigger
+		// checks see the world before this barrier's admissions.
+		eng.Tick(b)
+		kept := pending[:0]
+		for _, i := range pending {
+			if p.Flows[i].Start <= b {
+				start(i)
+			} else {
+				kept = append(kept, i)
+			}
+		}
+		pending = kept
+	})
+
+	for _, fe := range p.Faults {
+		var aEnd, bEnd *netsim.Port
+		switch fe.Link.Role {
+		default:
+			panic("psim: unsupported link role in plan")
+		case faults.HostLeaf:
+			aEnd, bEnd = e.HostUp[fe.Link.A][fe.Link.B], e.LeafDown[fe.Link.A][fe.Link.B]
+		case faults.LeafSpine:
+			aEnd, bEnd = e.LeafUp[fe.Link.A][fe.Link.B], e.SpineDown[fe.Link.B][fe.Link.A]
+		}
+		down := fe.Down
+		aEnd.Net().Q.At(fe.At, func() { aEnd.SetEndDown(down) })
+		bEnd.Net().Q.At(fe.At, func() { bEnd.SetEndDown(down) })
+	}
+	return res, eng
+}

@@ -72,10 +72,15 @@ type Shard struct {
 }
 
 // crossPkt is one packet buffered between shards: the receiving port, the
-// packet by value, and the arrival (time, key) computed by the transmitter.
+// packet object (ownership transferred from the transmitting Network; see
+// netsim.RemoteEnd), and the arrival (time, key) computed by the
+// transmitter. Records live in the per-direction outbox rows, which are
+// reset to length zero at every exchange, so the rows' backing arrays — and
+// the packet objects they point at — recycle without allocation in steady
+// state.
 type crossPkt struct {
 	port *netsim.Port
-	pkt  netsim.Packet
+	pkt  *netsim.Packet
 	at   simtime.Time
 	key  uint64
 }
@@ -89,7 +94,7 @@ type outboxEnd struct {
 	port     *netsim.Port // receiving port, in shard dst
 }
 
-func (o *outboxEnd) Deliver(pkt netsim.Packet, at simtime.Time, key uint64) {
+func (o *outboxEnd) Deliver(pkt *netsim.Packet, at simtime.Time, key uint64) {
 	box := &o.eng.outbox[o.src][o.dst]
 	*box = append(*box, crossPkt{port: o.port, pkt: pkt, at: at, key: key})
 }
@@ -223,8 +228,15 @@ func Build(cfg Config) *Engine {
 }
 
 // OnBarrier registers a hook to run at every barrier with all shards
-// quiescent at exactly the barrier time. Hooks may read any shard's state
-// but must not mutate it; mutations belong in scheduled events.
+// quiescent at exactly the barrier time. Hooks may read any shard's state,
+// and may mutate it synchronously: workers resume only after every hook
+// returns, so hook-side mutations are ordered by the same channel
+// alternation that orders the packet exchange, and RunBefore has advanced
+// each shard queue's clock to the barrier, so events a hook schedules land
+// at barrier-relative times identical in every shard layout. The hybrid
+// fast path depends on this — a fidelity demotion at a barrier starts
+// packet transports on the owning shards' queues (see ApplyHybrid).
+// Mutations at arbitrary virtual times still belong in scheduled events.
 func (e *Engine) OnBarrier(h func(barrier simtime.Time)) { e.hooks = append(e.hooks, h) }
 
 // Now returns the last barrier every shard has reached.

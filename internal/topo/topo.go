@@ -51,6 +51,14 @@ type Fabric struct {
 	Leaves  []*netsim.Switch
 	Spines  []*netsim.Switch
 	HostsAt [][]*netsim.Host // hosts per leaf
+
+	// Fabric link tables (leaf–spine builds only): Uplinks[l][s] is leaf
+	// l's port toward spine s, Downlinks[s][l] the reverse. Consumers that
+	// model paths outside the packet engine (internal/hybrid) need the
+	// physical per-spine ports because ECMP hashes flows onto individual
+	// uplinks — an aggregate trunk would hide hash-collision congestion.
+	Uplinks   [][]*netsim.Port
+	Downlinks [][]*netsim.Port
 }
 
 // Switches returns all switches, leaves first.
@@ -113,8 +121,6 @@ func LeafSpine(net *netsim.Network, nLeaf, hostsPerLeaf, nSpine int, c Config) *
 	}
 	f.HostsAt = make([][]*netsim.Host, nLeaf)
 
-	// uplinks[l][s] is leaf l's port toward spine s; downlinks[s][l] the
-	// reverse.
 	uplinks := make([][]*netsim.Port, nLeaf)
 	downlinks := make([][]*netsim.Port, nSpine)
 	for s := range downlinks {
@@ -156,6 +162,7 @@ func LeafSpine(net *netsim.Network, nLeaf, hostsPerLeaf, nSpine int, c Config) *
 			}
 		}
 	}
+	f.Uplinks, f.Downlinks = uplinks, downlinks
 	return f
 }
 
