@@ -19,6 +19,11 @@
 //	                               # parallel engine, written to -shard-out
 //	accbench -shards 4 -shard-leaves 8 -shard-hosts 16 -shard-spines 4
 //	                               # smaller sharded geometry (CI smoke)
+//	accbench -workload-spec default
+//	                               # workload-engine benchmark: expand the
+//	                               # built-in three-class mix (or a spec file
+//	                               # path) and run it end to end on the sharded
+//	                               # engine, written to -workload-out
 //	accbench -fidelity hybrid      # hybrid fast-path benchmark: the 2304-host
 //	                               # uncongested workload at packet fidelity vs
 //	                               # the flow-level fast-forward engine, written
@@ -120,6 +125,11 @@ func main() {
 		hybridOut    = flag.String("hybrid-out", "BENCH_hybrid.json", "hybrid benchmark output path ('-' = stdout only)")
 		hybridwindow = flag.Duration("hybrid-window", time.Duration(ho.Window), "hybrid benchmark: measured span of virtual time")
 		hybridWarmup = flag.Duration("hybrid-warmup", time.Duration(ho.Warmup), "hybrid benchmark: virtual warmup before measuring")
+	)
+	wo := perf.DefaultWorkloadOptions()
+	var (
+		workloadSpec = flag.String("workload-spec", "", "also run the workload-engine benchmark with this spec file ('default' = built-in three-class mix, '' = skip)")
+		workloadOut  = flag.String("workload-out", "BENCH_workload.json", "workload benchmark output path ('-' = stdout only)")
 	)
 	so := perf.DefaultShardOptions()
 	var (
@@ -253,6 +263,33 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "accbench: appended hybrid run %s to %s (speedup %.1fx)\n", id, *trajectory, hr.Speedup)
 		}
+	}
+
+	if *workloadSpec != "" {
+		wo.Seed = *seed
+		if *workloadSpec != "default" {
+			wo.Spec = *workloadSpec
+		}
+		if *shards > 0 {
+			wo.Shards = *shards
+		}
+		wr, err := perf.RunWorkload(wo)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "accbench: workload benchmark: spec %q, %d hosts, %d flows, %d shards\n",
+			wr.Spec, wr.Hosts, wr.Flows, wr.Shards)
+		buf, err := json.MarshalIndent(wr, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if *workloadOut != "-" {
+			if err := os.WriteFile(*workloadOut, buf, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		os.Stdout.Write(buf)
 	}
 
 	if *shards > 0 {

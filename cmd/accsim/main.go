@@ -12,6 +12,15 @@
 //	                               # flow-level fast-forward with packet-level
 //	                               # hotspot demotion (<=1% FCT tolerance)
 //
+// The workload engine (mix-spec, mix-replay, mix-collective) drives
+// spec-defined multi-client traffic and can record/replay flow traces:
+//
+//	accsim -exp mix-spec -workload-spec spec.json   # custom client classes
+//	accsim -exp mix-spec -record-trace mix.bin      # record as-executed trace
+//	accsim -exp mix-spec -replay-trace mix.bin -shards 4
+//	                               # bit-identical replay on the sharded engine
+//	accsim -exp mix-replay -fidelity hybrid         # self-checking replay
+//
 // The robustness suite (robust-linkfail, robust-flap, robust-telemetry)
 // reads the -fault-* flags to shape its fault plan:
 //
@@ -37,6 +46,7 @@ import (
 	"github.com/accnet/acc/internal/exp"
 	"github.com/accnet/acc/internal/obs"
 	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/workload"
 )
 
 func main() {
@@ -60,6 +70,10 @@ func main() {
 		obsAddr = flag.String("obs-addr", "", "serve live introspection (/metrics, /manifest, /trace, /debug/pprof) on this address")
 		obsDir  = flag.String("obs-dir", "", "write per-experiment manifest/trace/metrics files into this directory")
 		obsRing = flag.Int("obs-ring", 0, "trace ring capacity in records (0 = default 65536)")
+
+		workloadSpec = flag.String("workload-spec", "", "mix-*: JSON workload spec file (multi-client classes; see DESIGN.md 'Workload engine')")
+		recordTrace  = flag.String("record-trace", "", "mix-*: record the as-executed flow trace to this file (.bin = binary, else JSONL)")
+		replayTrace  = flag.String("replay-trace", "", "mix-*: replay a recorded flow trace instead of generating traffic")
 	)
 	flag.Parse()
 
@@ -80,9 +94,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "accsim: unknown -fidelity %q (want 'packet' or 'hybrid')\n", *fidelity)
 		os.Exit(2)
 	}
+	if *expID != "all" {
+		known := false
+		for _, e := range exp.List() {
+			if e[0] == *expID {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "accsim: unknown experiment %q; valid experiments:\n", *expID)
+			for _, e := range exp.List() {
+				fmt.Fprintf(os.Stderr, "  %-18s %s\n", e[0], e[1])
+			}
+			os.Exit(2)
+		}
+	}
+	// Preflight the workload files: a malformed spec or trace is a user
+	// error and deserves a clean one-line diagnostic, not a panic from deep
+	// inside the experiment.
+	if *workloadSpec != "" {
+		if _, err := workload.ReadSpecFile(*workloadSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "accsim: -workload-spec:", err)
+			os.Exit(2)
+		}
+	}
+	if *replayTrace != "" {
+		if _, err := workload.ReadTraceFile(*replayTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "accsim: -replay-trace:", err)
+			os.Exit(2)
+		}
+	}
 	opts := exp.Options{
 		Seed: *seed, Scale: *scale, OfflineEpisodes: *episodes, Shards: *shards,
-		Fidelity: *fidelity,
+		Fidelity:     *fidelity,
+		WorkloadSpec: *workloadSpec, RecordTrace: *recordTrace, ReplayTrace: *replayTrace,
 		Faults: exp.FaultOptions{
 			MTBF:     simtime.Duration((*faultMTBF).Nanoseconds()),
 			MTTR:     simtime.Duration((*faultMTTR).Nanoseconds()),

@@ -65,6 +65,16 @@ type Options struct {
 	// demotion to packet level at hotspots (internal/hybrid). Experiments
 	// that have not been wired for hybrid ignore the flag.
 	Fidelity string
+	// WorkloadSpec is a workload-spec JSON file (workload.ParseSpec) for the
+	// mix-* experiments; empty selects the built-in three-class default.
+	WorkloadSpec string
+	// RecordTrace, when set, writes the run's as-executed flow trace to the
+	// given file (.bin selects the compact binary format, anything else
+	// JSONL). Honored by the mix-* experiments.
+	RecordTrace string
+	// ReplayTrace, when set, replays the given flow-trace file instead of
+	// generating traffic from a spec. Honored by the mix-* experiments.
+	ReplayTrace string
 }
 
 // Hybrid reports whether the run requests the hybrid-fidelity fast path.
@@ -227,6 +237,15 @@ func obsConfig(o Options) map[string]string {
 	}
 	if o.Fidelity != "" && o.Fidelity != "packet" {
 		cfg["fidelity"] = o.Fidelity
+	}
+	if o.WorkloadSpec != "" {
+		cfg["workload_spec"] = o.WorkloadSpec
+	}
+	if o.RecordTrace != "" {
+		cfg["record_trace"] = o.RecordTrace
+	}
+	if o.ReplayTrace != "" {
+		cfg["replay_trace"] = o.ReplayTrace
 	}
 	if len(cfg) == 0 {
 		return nil

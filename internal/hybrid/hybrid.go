@@ -500,7 +500,10 @@ func (e *Engine) toPacket(f *Flow, t simtime.Time) {
 }
 
 // PacketDone releases a packet-mode flow's demand reservation; transports
-// call it from their completion callback.
+// call it from their completion callback. It mutates link state shared by
+// every flow crossing the path, so in barrier-driven sharded runs it must
+// only be called with the shards quiescent — psim.ApplyHybrid records
+// completions in per-flow slots and drains them at the next barrier.
 func (e *Engine) PacketDone(f *Flow) {
 	if f.Mode != ModePacket || f.completed {
 		return

@@ -31,6 +31,11 @@ type Manifest struct {
 	// crossed the analytic/packet boundary. Nil for pure packet-level runs.
 	Fidelity *FidelitySummary `json:"fidelity,omitempty"`
 
+	// Workload summarizes a spec-driven/replayed workload-engine run: the
+	// per-SLO-class FCT tails and the Jain fairness index over class
+	// goodputs. Nil for runs without workload-engine traffic.
+	Workload *WorkloadManifest `json:"workload,omitempty"`
+
 	// Trace totals at finish time.
 	TraceEmitted  uint64            `json:"trace_emitted"`
 	TraceByKind   map[string]uint64 `json:"trace_by_kind,omitempty"`
@@ -71,6 +76,40 @@ func (r *Run) AddFidelity(s FidelitySummary) {
 	f.Promotions += s.Promotions
 	f.AnalyticPayload += s.AnalyticPayload
 	f.Ticks += s.Ticks
+}
+
+// ClassManifest is one workload class's completed-flow summary.
+type ClassManifest struct {
+	Name     string  `json:"name"`
+	SLO      string  `json:"slo,omitempty"`
+	Flows    int     `json:"flows"`
+	Bytes    int64   `json:"bytes"`
+	FCTp50Ns int64   `json:"fct_p50_ns"`
+	FCTp99Ns int64   `json:"fct_p99_ns"`
+	MeanGbps float64 `json:"mean_gbps"`
+}
+
+// WorkloadManifest records what the workload engine offered and how each
+// class fared. Spec/Trace/Replay describe provenance: the spec that
+// generated the traffic, the trace file it was recorded to, and/or the
+// trace file it was replayed from.
+type WorkloadManifest struct {
+	Spec    string          `json:"spec,omitempty"`
+	Trace   string          `json:"trace,omitempty"`
+	Replay  string          `json:"replay,omitempty"`
+	Flows   int             `json:"flows"`
+	Classes []ClassManifest `json:"classes,omitempty"`
+	Jain    float64         `json:"jain_fairness"`
+}
+
+// SetWorkload installs the workload engine's per-class summary.
+func (r *Run) SetWorkload(w WorkloadManifest) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.man.Workload = &w
+	r.mu.Unlock()
 }
 
 // EncodeJSON writes the manifest as indented JSON.

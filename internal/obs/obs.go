@@ -40,6 +40,7 @@ const (
 	KindLink                  // link administrative state change (up/down)
 	KindDemote                // hybrid engine demoted a link to packet fidelity
 	KindPromote               // hybrid engine promoted a link back to analytic fidelity
+	KindFlowStart             // workload engine launched a flow (trace recording)
 
 	numKinds
 )
@@ -70,6 +71,8 @@ func (k Kind) String() string {
 		return "fidelity_demote"
 	case KindPromote:
 		return "fidelity_promote"
+	case KindFlowStart:
+		return "flow_start"
 	}
 	return "unknown"
 }
@@ -116,6 +119,7 @@ func (r DropReason) String() string {
 //	KindLink:    V1=1 down, 0 up
 //	KindDemote:  V1=analytic flows converted, V2=fluid utilization at the trigger
 //	KindPromote: V1=cold windows observed before promotion
+//	KindFlowStart: Action=workload class index, V1=flow bytes
 type Record struct {
 	Time   simtime.Time
 	Kind   Kind
@@ -299,6 +303,17 @@ func (t *Tracer) FidelityPromote(now simtime.Time, node, port, cold int) {
 	}
 	t.emit(Record{Time: now, Kind: KindPromote,
 		Node: int32(node), Port: int32(port), Prio: -1, V1: float64(cold)})
+}
+
+// FlowStart records the workload engine launching one flow at its source
+// host: the trace-recording hook. class is the workload class index (-1
+// when classless).
+func (t *Tracer) FlowStart(now simtime.Time, node int, flow uint64, bytes int64, class int) {
+	if t == nil {
+		return
+	}
+	t.emit(Record{Time: now, Kind: KindFlowStart,
+		Node: int32(node), Port: -1, Prio: -1, Action: int32(class), Flow: flow, V1: float64(bytes)})
 }
 
 // LinkState records an administrative link up/down transition.

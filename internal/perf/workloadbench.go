@@ -1,0 +1,91 @@
+package perf
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/accnet/acc/internal/psim"
+	"github.com/accnet/acc/internal/topo"
+	"github.com/accnet/acc/internal/workload"
+)
+
+// WorkloadOptions drives the workload-engine benchmark: a multi-client spec
+// (internal/workload) expanded into a flow trace and pushed through the
+// sharded engine end to end. Unlike the synthetic line-rate core benchmark,
+// this measures the engine under production-shaped load — heavy-tailed flow
+// sizes, bursty arrivals, several traffic classes at once.
+type WorkloadOptions struct {
+	Seed int64
+	// Spec is a workload spec file path, or "" for the built-in default
+	// three-class mix (workload.DefaultMixSpec).
+	Spec   string
+	Shards int
+}
+
+// DefaultWorkloadOptions returns the standard workload benchmark: the
+// built-in three-class mix at 4 shards.
+func DefaultWorkloadOptions() WorkloadOptions {
+	return WorkloadOptions{Seed: 1, Shards: 4}
+}
+
+// WorkloadResult reports one spec-driven run. Completed counts flows that
+// finished inside the spec horizon (generation window + drain).
+type WorkloadResult struct {
+	Spec      string `json:"spec"`
+	Hosts     int    `json:"hosts"`
+	Shards    int    `json:"shards"`
+	MaxProcs  int    `json:"maxprocs"`
+	Flows     int    `json:"flows"`
+	Completed int    `json:"completed"`
+	Bytes     int64  `json:"bytes"`
+
+	Result CoreResult `json:"result"`
+}
+
+// RunWorkload expands the spec at the given seed and runs the resulting
+// trace to its horizon on the sharded engine, measuring the full span (no
+// warmup: flow churn IS the workload being measured).
+func RunWorkload(o WorkloadOptions) (WorkloadResult, error) {
+	spec := workload.DefaultMixSpec()
+	if o.Spec != "" {
+		s, err := workload.ReadSpecFile(o.Spec)
+		if err != nil {
+			return WorkloadResult{}, err
+		}
+		spec = s
+	}
+	tr, err := spec.Generate(o.Seed)
+	if err != nil {
+		return WorkloadResult{}, fmt.Errorf("spec %q: %w", spec.Name, err)
+	}
+	shards := o.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	cfg := topo.DefaultConfig()
+	eng := psim.Build(psim.Config{
+		NLeaf: tr.NLeaf, HostsPerLeaf: tr.HostsPerLeaf, NSpine: tr.NSpine,
+		Shards: shards, Seed: tr.Seed, Topo: cfg,
+	})
+	plan := psim.PlanFromTrace(tr, cfg.HostBW)
+	app := eng.Apply(plan)
+	horizon := tr.Horizon.Sub(0)
+	res := measure(0, horizon, eng.Run, eng.Processed)
+
+	completed := 0
+	for _, end := range app.End {
+		if end != 0 {
+			completed++
+		}
+	}
+	return WorkloadResult{
+		Spec:      spec.Name,
+		Hosts:     tr.NLeaf * tr.HostsPerLeaf,
+		Shards:    eng.Part.K,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Flows:     len(tr.Flows),
+		Completed: completed,
+		Bytes:     tr.TotalBytes(),
+		Result:    res,
+	}, nil
+}

@@ -52,8 +52,36 @@ func (e *Engine) ApplyHybrid(p *Plan, cfg hybrid.Config) (*Applied, *hybrid.Engi
 		End:       make([]simtime.Time, n),
 	}
 
+	// Packet-mode completions fire on the shard that owns the receiver,
+	// mid-window, while other shards are still running — but PacketDone
+	// mutates link state shared across shards (demand reservations, packet
+	// counts). So completion callbacks only mark a per-flow slot (disjoint
+	// indices, race-free like res.End), and the reservations are released at
+	// the next barrier with the shards quiescent. The decrements commute, so
+	// batching them at the barrier leaves every Tick-time observable
+	// (utilization, promotion hysteresis) exactly as the synchronous release
+	// would have.
+	hflows := make([]*hybrid.Flow, n)
+	packetDone := make([]bool, n)
+	drainDone := func() {
+		for i, f := range hflows {
+			if packetDone[i] && f != nil {
+				packetDone[i] = false
+				hflows[i] = nil
+				eng.PacketDone(f)
+			}
+		}
+	}
+
 	start := func(i int) {
 		fs := p.Flows[i]
+		if p.OnStart != nil {
+			// e.Now() is the admission instant: the current barrier inside
+			// OnBarrier hooks, the epoch for specs due at apply time. That is
+			// the time a recorded trace must carry for the flow, because
+			// replaying it re-quantizes to the same barrier (see trace.go).
+			p.OnStart(i, e.Now())
+		}
 		id := netsim.FlowID(i + 1)
 		src, dst := e.Hosts[fs.Src.Leaf][fs.Src.Host], e.Hosts[fs.Dst.Leaf][fs.Dst.Host]
 		path := mesh.Path(id, src, dst)
@@ -63,9 +91,10 @@ func (e *Engine) ApplyHybrid(p *Plan, cfg hybrid.Config) (*Applied, *hybrid.Engi
 				hybrid.FlowOpts{ID: uint64(id), Size: fs.Size, Prio: p.DCQCN.Prio, Eligible: true},
 				func(f *hybrid.Flow, remaining int64) {
 					// Receiver first, then sender — applyPlan's fixed order.
+					hflows[i] = f
 					res.DCQCNRecv[i] = dcqcn.StartReceiver(id, src.ID(), dst, remaining, p.DCQCN, func(r *dcqcn.Receiver) {
 						res.End[i] = r.End
-						eng.PacketDone(f)
+						packetDone[i] = true
 					})
 					res.DCQCNSend[i] = dcqcn.StartSender(src.Net(), id, src, dst.ID(), remaining, p.DCQCN)
 				},
@@ -74,9 +103,10 @@ func (e *Engine) ApplyHybrid(p *Plan, cfg hybrid.Config) (*Applied, *hybrid.Engi
 			eng.StartFlow(path,
 				hybrid.FlowOpts{ID: uint64(id), Size: fs.Size, Prio: p.TCP.Prio},
 				func(f *hybrid.Flow, remaining int64) {
+					hflows[i] = f
 					res.TCPRecv[i] = tcp.StartReceiver(id, src.ID(), dst, remaining, p.TCP, func(r *tcp.Receiver) {
 						res.End[i] = r.End
-						eng.PacketDone(f)
+						packetDone[i] = true
 					})
 					res.TCPSend[i] = tcp.StartSender(src.Net(), id, src, dst.ID(), remaining, p.TCP)
 				},
@@ -96,8 +126,10 @@ func (e *Engine) ApplyHybrid(p *Plan, cfg hybrid.Config) (*Applied, *hybrid.Engi
 		}
 	}
 	e.OnBarrier(func(b simtime.Time) {
-		// Advance the engine first: completions past their End and trigger
-		// checks see the world before this barrier's admissions.
+		// Release the window's packet-mode completions, then advance the
+		// engine: completions past their End and trigger checks see the
+		// world before this barrier's admissions.
+		drainDone()
 		eng.Tick(b)
 		kept := pending[:0]
 		for _, i := range pending {

@@ -67,6 +67,14 @@ type Plan struct {
 
 	DCQCN dcqcn.Params
 	TCP   tcp.Params
+
+	// OnStart, when set, observes flow i at the instant the engine actually
+	// launches it (the trace recorder's hook — see workload.Recorder). It is
+	// invoked inside the existing start event, never as an event of its own,
+	// so recording does not perturb the schedule. Under the sharded engine it
+	// fires on the shard owning the sender; implementations must be safe for
+	// that (per-flow slot writes, no shared appends).
+	OnStart func(i int, at simtime.Time)
 }
 
 // NewPlan returns an empty plan with transport parameter defaults for the
@@ -196,6 +204,9 @@ func applyPlan(p *Plan, host func(HostRef) *netsim.Host, link func(LinkRef) (aEn
 				})
 			})
 			src.Net().Q.At(fs.Start, func() {
+				if p.OnStart != nil {
+					p.OnStart(i, src.Net().Now())
+				}
 				res.DCQCNSend[i] = dcqcn.StartSender(src.Net(), id, src, dst.ID(), fs.Size, p.DCQCN)
 			})
 		case TransportTCP:
@@ -205,6 +216,9 @@ func applyPlan(p *Plan, host func(HostRef) *netsim.Host, link func(LinkRef) (aEn
 				})
 			})
 			src.Net().Q.At(fs.Start, func() {
+				if p.OnStart != nil {
+					p.OnStart(i, src.Net().Now())
+				}
 				res.TCPSend[i] = tcp.StartSender(src.Net(), id, src, dst.ID(), fs.Size, p.TCP)
 			})
 		}

@@ -1,0 +1,85 @@
+package stats
+
+// Per-class summaries and fairness for the multi-client workload engine:
+// when N client classes share the fabric, ECN policies are judged on each
+// class's FCT tail AND on how evenly capacity is shared across classes —
+// the Jain index over per-class mean goodput is the standard scalar for
+// the latter.
+
+import (
+	"sort"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// ClassSummary condenses one class's completed flows.
+type ClassSummary struct {
+	Class string
+	FCTSummary
+	// Bytes is the class's total completed volume.
+	Bytes int64
+	// MeanGbps is the class's mean per-flow goodput (size/FCT averaged
+	// over flows), the x_i of the Jain index.
+	MeanGbps float64
+}
+
+// ByClass groups records by their Class label and summarizes each group.
+// Classes come back sorted by name, so the result is deterministic
+// regardless of completion order.
+func ByClass(recs []FlowRecord) []ClassSummary {
+	idx := make(map[string]int)
+	var out []ClassSummary
+	groups := make(map[string][]FlowRecord)
+	for _, r := range recs {
+		if _, ok := idx[r.Class]; !ok {
+			idx[r.Class] = len(out)
+			out = append(out, ClassSummary{Class: r.Class})
+		}
+		groups[r.Class] = append(groups[r.Class], r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	for i := range out {
+		g := groups[out[i].Class]
+		out[i].FCTSummary = Summarize(g)
+		var bytes int64
+		var gsum float64
+		for _, r := range g {
+			bytes += r.Size
+			if fct := r.FCT(); fct > 0 {
+				gsum += float64(simtime.RateOf(r.Size, fct)) / float64(simtime.Gbps)
+			}
+		}
+		out[i].Bytes = bytes
+		if len(g) > 0 {
+			out[i].MeanGbps = gsum / float64(len(g))
+		}
+	}
+	return out
+}
+
+// Jain returns the Jain fairness index (Σx)² / (n·Σx²) over the shares:
+// 1.0 when all classes fare equally, 1/n when one class takes everything.
+// Empty or all-zero input yields 0.
+func Jain(shares []float64) float64 {
+	if len(shares) == 0 {
+		return 0
+	}
+	var sum, sumsq float64
+	for _, x := range shares {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(shares)) * sumsq)
+}
+
+// JainByClass computes the fairness index over the classes' mean goodputs.
+func JainByClass(classes []ClassSummary) float64 {
+	shares := make([]float64, len(classes))
+	for i, c := range classes {
+		shares[i] = c.MeanGbps
+	}
+	return Jain(shares)
+}

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+func TestByClassGroupsAndSorts(t *testing.T) {
+	us := func(n int64) simtime.Time { return simtime.Time(n * int64(simtime.Microsecond)) }
+	recs := []FlowRecord{
+		{Size: 1000, Start: us(0), End: us(10), Class: "web"},
+		{Size: 2000, Start: us(0), End: us(20), Class: "bulk"},
+		{Size: 3000, Start: us(5), End: us(15), Class: "web"},
+	}
+	classes := ByClass(recs)
+	if len(classes) != 2 {
+		t.Fatalf("got %d classes, want 2", len(classes))
+	}
+	// Deterministic order: sorted by class name.
+	if classes[0].Class != "bulk" || classes[1].Class != "web" {
+		t.Fatalf("classes not sorted by name: %s, %s", classes[0].Class, classes[1].Class)
+	}
+	if classes[1].Count != 2 || classes[1].Bytes != 4000 {
+		t.Fatalf("web summary wrong: count=%d bytes=%d", classes[1].Count, classes[1].Bytes)
+	}
+	if classes[0].MeanGbps <= 0 {
+		t.Fatal("bulk mean goodput not positive")
+	}
+	if ByClass(nil) != nil {
+		t.Fatal("empty input must summarize to nil")
+	}
+}
+
+func TestJain(t *testing.T) {
+	if j := Jain([]float64{5, 5, 5}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal shares: Jain %v, want 1", j)
+	}
+	// One active user out of n: index collapses to 1/n.
+	if j := Jain([]float64{9, 0, 0}); math.Abs(j-1.0/3) > 1e-12 {
+		t.Fatalf("single active share: Jain %v, want 1/3", j)
+	}
+	if j := Jain(nil); j != 0 {
+		t.Fatalf("empty shares: Jain %v, want 0", j)
+	}
+	if j := Jain([]float64{0, 0}); j != 0 {
+		t.Fatalf("all-zero shares: Jain %v, want 0", j)
+	}
+	mixed := Jain([]float64{1, 2, 3})
+	if mixed <= 1.0/3 || mixed >= 1 {
+		t.Fatalf("mixed shares: Jain %v outside (1/3, 1)", mixed)
+	}
+}

@@ -36,7 +36,10 @@ type AllReduceJob struct {
 // RunAllReduce starts the collective loop: each round performs 2(N−1)
 // synchronized ring steps, then waits ComputeTime.
 func RunAllReduce(net *netsim.Network, cfg AllReduceConfig) *AllReduceJob {
-	j := &AllReduceJob{cfg: cfg, net: net, startedAt: net.Now()}
+	j := &AllReduceJob{
+		cfg: cfg, net: net, startedAt: net.Now(),
+		StepTimes: make([]simtime.Duration, 0, collectiveStepCap),
+	}
 	j.round()
 	return j
 }
@@ -44,8 +47,13 @@ func RunAllReduce(net *netsim.Network, cfg AllReduceConfig) *AllReduceJob {
 // Stop ends the loop after the current round.
 func (j *AllReduceJob) Stop() { j.stopped = true }
 
-// RoundsPerSec returns the collective rate so far.
+// RoundsPerSec returns the collective rate so far; zero before the first
+// round completes (and at zero elapsed virtual time, so a job queried at
+// its start instant never divides by zero or reports a rate for no work).
 func (j *AllReduceJob) RoundsPerSec() float64 {
+	if j.Rounds == 0 {
+		return 0
+	}
 	el := j.net.Now().Sub(j.startedAt).Seconds()
 	if el <= 0 {
 		return 0

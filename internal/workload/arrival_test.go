@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+func TestNewArrivalValidation(t *testing.T) {
+	for _, c := range []struct {
+		process     string
+		rate, shape float64
+	}{
+		{"pareto", 1e5, 1},
+		{ArrivalPoisson, 0, 1},
+		{ArrivalPoisson, -3, 1},
+		{ArrivalGamma, math.NaN(), 1},
+		{ArrivalWeibull, math.Inf(1), 1},
+		{ArrivalGamma, 1e5, -2},
+	} {
+		if _, err := NewArrival(c.process, c.rate, c.shape); err == nil {
+			t.Errorf("NewArrival(%q, %v, %v) accepted invalid parameters", c.process, c.rate, c.shape)
+		}
+	}
+	for _, p := range []string{ArrivalPoisson, ArrivalGamma, ArrivalWeibull} {
+		if _, err := NewArrival(p, 1e5, 0.7); err != nil {
+			t.Errorf("NewArrival(%q): %v", p, err)
+		}
+	}
+}
+
+// Two identically-seeded generators must produce identical gap sequences —
+// the property per-class replay determinism rests on.
+func TestArrivalGapDeterministic(t *testing.T) {
+	for _, p := range []string{ArrivalPoisson, ArrivalGamma, ArrivalWeibull} {
+		a, err := NewArrival(p, 2e5, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1 := rand.New(rand.NewSource(99))
+		r2 := rand.New(rand.NewSource(99))
+		for i := 0; i < 1000; i++ {
+			g1, g2 := a.Gap(r1), a.Gap(r2)
+			if g1 != g2 {
+				t.Fatalf("%s: draw %d diverged (%v vs %v)", p, i, g1, g2)
+			}
+			if g1 <= 0 {
+				t.Fatalf("%s: non-positive gap %v", p, g1)
+			}
+		}
+	}
+}
+
+// All three processes are normalized to the same mean inter-arrival time:
+// the empirical mean gap must approximate 1/rate regardless of shape.
+func TestArrivalMeanGap(t *testing.T) {
+	const rate = 1e5 // 10us mean gap
+	for _, c := range []struct {
+		process string
+		shape   float64
+	}{
+		{ArrivalPoisson, 1},
+		{ArrivalGamma, 0.5},
+		{ArrivalGamma, 3},
+		{ArrivalWeibull, 0.6},
+		{ArrivalWeibull, 2},
+	} {
+		a, err := NewArrival(c.process, rate, c.shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		var sum float64
+		const n = 200000
+		for i := 0; i < n; i++ {
+			sum += float64(a.Gap(rng))
+		}
+		got := sum / n
+		want := float64(simtime.Second) / rate
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("%s shape=%v: mean gap %.0fns, want ~%.0fns", c.process, c.shape, got, want)
+		}
+	}
+}

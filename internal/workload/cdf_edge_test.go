@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Satellite coverage for CDF edge cases beyond the fig-11 distributions.
+
+func TestCDFSingleKnotRejected(t *testing.T) {
+	c := CDF{Name: "one", Points: []CDFPoint{{100, 1}}}
+	if c.Validate() == nil {
+		t.Fatal("single-knot CDF must fail validation")
+	}
+	if (CDF{Name: "empty"}).Validate() == nil {
+		t.Fatal("empty CDF must fail validation")
+	}
+}
+
+func TestCDFNonMonotoneKnotsRejected(t *testing.T) {
+	byBytes := CDF{Name: "bytes", Points: []CDFPoint{{0, 0}, {100, 0.5}, {50, 1}}}
+	if byBytes.Validate() == nil {
+		t.Fatal("CDF with decreasing byte knots must fail validation")
+	}
+	byProb := CDF{Name: "prob", Points: []CDFPoint{{0, 0}, {100, 0.8}, {200, 0.5}, {300, 1}}}
+	if byProb.Validate() == nil {
+		t.Fatal("CDF with decreasing probability must fail validation")
+	}
+	outOfRange := CDF{Name: "range", Points: []CDFPoint{{0, -0.1}, {100, 1}}}
+	if outOfRange.Validate() == nil {
+		t.Fatal("CDF with probability outside [0,1] must fail validation")
+	}
+}
+
+// A flat segment (equal probabilities at two knots) is legal and must not
+// divide by zero during interpolation.
+func TestCDFFlatSegmentSamples(t *testing.T) {
+	c := CDF{Name: "flat", Points: []CDFPoint{{0, 0}, {100, 0.5}, {200, 0.5}, {300, 1}}}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("flat-segment CDF rejected: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		if s := c.Sample(rng); s < 1 || s > 300 {
+			t.Fatalf("sample %d outside support", s)
+		}
+	}
+}
+
+// Two identically-seeded generators draw identical size sequences from the
+// same CDF — sampling must consume randomness deterministically.
+func TestCDFDeterministicSampling(t *testing.T) {
+	for _, c := range []CDF{WebSearch(), DataMining(), Uniform("u", 100, 10000), Fixed("f", 77)} {
+		r1 := rand.New(rand.NewSource(21))
+		r2 := rand.New(rand.NewSource(21))
+		for i := 0; i < 2000; i++ {
+			s1, s2 := c.Sample(r1), c.Sample(r2)
+			if s1 != s2 {
+				t.Fatalf("%s: draw %d diverged (%d vs %d)", c.Name, i, s1, s2)
+			}
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package workload
+
+// Declarative multi-client workload specs. A Spec is a JSON document
+// describing N client classes sharing one fabric: each class has its own
+// arrival process (arrival.go), flow-size distribution (cdf.go), placement
+// policy, SLO label, and transport. Generate expands a spec into a Trace —
+// every random draw happens here, at generation time, from per-class seeded
+// streams — so (spec, seed) fully determines the offered traffic and the
+// trace replays bit-identically on any engine (see trace.go).
+//
+// Schema (all durations are Go duration strings, all rates flows/sec):
+//
+//	{
+//	  "name": "prod-mix",
+//	  "fabric": {"leaves": 4, "hosts_per_leaf": 4, "spines": 3},
+//	  "duration": "300us",        // arrival window
+//	  "drain": "1ms",             // extra horizon after the last arrival
+//	  "classes": [
+//	    {
+//	      "name": "web", "slo": "latency", "transport": "dcqcn",
+//	      "arrival": {"process": "poisson", "rate": 300000},
+//	      "size": {"dist": "uniform", "min_bytes": 1024, "max_bytes": 16384},
+//	      "placement": {"policy": "uniform"}
+//	    }, ...
+//	  ]
+//	}
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/accnet/acc/internal/simtime"
+)
+
+// FabricSpec is the leaf-spine geometry a spec's traffic addresses.
+type FabricSpec struct {
+	Leaves       int `json:"leaves"`
+	HostsPerLeaf int `json:"hosts_per_leaf"`
+	Spines       int `json:"spines"`
+}
+
+// ArrivalSpec configures one class's interarrival process.
+type ArrivalSpec struct {
+	// Process is poisson, gamma, or weibull (arrival.go).
+	Process string `json:"process"`
+	// Rate is the class's aggregate arrival rate in flows per second.
+	Rate float64 `json:"rate"`
+	// Shape parameterizes gamma/weibull; 0 or 1 degenerates to poisson.
+	Shape float64 `json:"shape,omitempty"`
+}
+
+// SizeSpec configures one class's flow-size distribution.
+type SizeSpec struct {
+	// Dist is websearch, datamining, uniform, fixed, or cdf.
+	Dist string `json:"dist"`
+	// MinBytes/MaxBytes bound the uniform distribution.
+	MinBytes int64 `json:"min_bytes,omitempty"`
+	MaxBytes int64 `json:"max_bytes,omitempty"`
+	// Bytes is the fixed distribution's constant size.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Points are the knots of an inline empirical CDF (dist "cdf").
+	Points []CDFPoint `json:"points,omitempty"`
+}
+
+// Placement policies.
+const (
+	PlaceUniform   = "uniform"    // uniform random (src, dst), src != dst
+	PlaceCrossLeaf = "cross-leaf" // uniform, but src and dst on distinct leaves
+	PlaceLeafLocal = "leaf-local" // uniform within one uniformly drawn leaf
+	PlaceIncast    = "incast"     // uniform sources converging on one victim
+)
+
+// PlacementSpec configures where one class's flows land on the fabric.
+type PlacementSpec struct {
+	Policy string `json:"policy"`
+	// Leaf/Host pin the incast victim (defaults to leaf 0, host 0).
+	Leaf int `json:"leaf,omitempty"`
+	Host int `json:"host,omitempty"`
+	// Fanin is how many simultaneous flows each incast arrival launches
+	// (default 1).
+	Fanin int `json:"fanin,omitempty"`
+}
+
+// ClassSpec is one client class of the mix.
+type ClassSpec struct {
+	Name      string        `json:"name"`
+	SLO       string        `json:"slo"`
+	Transport string        `json:"transport,omitempty"`
+	Arrival   ArrivalSpec   `json:"arrival"`
+	Size      SizeSpec      `json:"size"`
+	Placement PlacementSpec `json:"placement"`
+}
+
+// Spec is a declarative multi-client workload: a fabric, an arrival window,
+// and the client classes offering traffic into it.
+type Spec struct {
+	Name     string      `json:"name"`
+	Fabric   FabricSpec  `json:"fabric"`
+	Duration string      `json:"duration"`
+	Drain    string      `json:"drain,omitempty"`
+	Classes  []ClassSpec `json:"classes"`
+}
+
+// ParseSpec decodes and validates a JSON spec document.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("workload: spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ReadSpecFile loads and validates a spec from disk.
+func ReadSpecFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// parseDur parses a Go duration string ("300us") into virtual time.
+func parseDur(s string) (simtime.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return simtime.Duration(d.Nanoseconds()), nil
+}
+
+// window returns the arrival window and post-window drain (default 1ms).
+func (s *Spec) window() (dur, drain simtime.Duration, err error) {
+	dur, err = parseDur(s.Duration)
+	if err != nil {
+		return 0, 0, fmt.Errorf("workload: spec %q duration: %w", s.Name, err)
+	}
+	if dur <= 0 {
+		return 0, 0, fmt.Errorf("workload: spec %q duration %v must be positive", s.Name, dur)
+	}
+	drain = simtime.Millisecond
+	if s.Drain != "" {
+		drain, err = parseDur(s.Drain)
+		if err != nil {
+			return 0, 0, fmt.Errorf("workload: spec %q drain: %w", s.Name, err)
+		}
+		if drain < 0 {
+			return 0, 0, fmt.Errorf("workload: spec %q drain %v must be non-negative", s.Name, drain)
+		}
+	}
+	return dur, drain, nil
+}
+
+// cdfFor builds the class's size distribution.
+func cdfFor(class string, sz SizeSpec) (CDF, error) {
+	switch sz.Dist {
+	case "websearch":
+		return WebSearch(), nil
+	case "datamining":
+		return DataMining(), nil
+	case "uniform":
+		if sz.MinBytes <= 0 || sz.MaxBytes < sz.MinBytes {
+			return CDF{}, fmt.Errorf("workload: class %q uniform size needs 0 < min_bytes <= max_bytes (got %d, %d)",
+				class, sz.MinBytes, sz.MaxBytes)
+		}
+		return Uniform(class, sz.MinBytes, sz.MaxBytes), nil
+	case "fixed":
+		if sz.Bytes <= 0 {
+			return CDF{}, fmt.Errorf("workload: class %q fixed size %d must be positive", class, sz.Bytes)
+		}
+		return Fixed(class, sz.Bytes), nil
+	case "cdf":
+		c := CDF{Name: class, Points: sz.Points}
+		if err := c.Validate(); err != nil {
+			return CDF{}, err
+		}
+		return c, nil
+	}
+	return CDF{}, fmt.Errorf("workload: class %q unknown size dist %q (want websearch, datamining, uniform, fixed, or cdf)",
+		class, sz.Dist)
+}
+
+// Validate checks the spec is internally consistent and buildable.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: spec needs a name")
+	}
+	f := s.Fabric
+	if f.Leaves <= 0 || f.HostsPerLeaf <= 0 || f.Spines <= 0 {
+		return fmt.Errorf("workload: spec %q fabric %dx%dx%d must be positive", s.Name, f.Leaves, f.HostsPerLeaf, f.Spines)
+	}
+	if f.Leaves*f.HostsPerLeaf < 2 {
+		return fmt.Errorf("workload: spec %q fabric has fewer than 2 hosts", s.Name)
+	}
+	if _, _, err := s.window(); err != nil {
+		return err
+	}
+	if len(s.Classes) == 0 {
+		return fmt.Errorf("workload: spec %q has no classes", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Classes))
+	for i, c := range s.Classes {
+		if c.Name == "" {
+			return fmt.Errorf("workload: spec %q class %d needs a name", s.Name, i)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("workload: spec %q duplicate class %q", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+		if _, err := NewArrival(c.Arrival.Process, c.Arrival.Rate, c.Arrival.Shape); err != nil {
+			return fmt.Errorf("class %q: %w", c.Name, err)
+		}
+		if _, err := cdfFor(c.Name, c.Size); err != nil {
+			return err
+		}
+		if _, err := ParseTransport(c.Transport); err != nil {
+			return fmt.Errorf("class %q: %w", c.Name, err)
+		}
+		switch c.Placement.Policy {
+		case PlaceUniform, PlaceLeafLocal:
+		case PlaceCrossLeaf:
+			if f.Leaves < 2 {
+				return fmt.Errorf("workload: class %q cross-leaf placement needs >=2 leaves", c.Name)
+			}
+		case PlaceIncast:
+			if c.Placement.Leaf < 0 || c.Placement.Leaf >= f.Leaves ||
+				c.Placement.Host < 0 || c.Placement.Host >= f.HostsPerLeaf {
+				return fmt.Errorf("workload: class %q incast victim (%d,%d) outside fabric %dx%d",
+					c.Name, c.Placement.Leaf, c.Placement.Host, f.Leaves, f.HostsPerLeaf)
+			}
+			if c.Placement.Fanin < 0 {
+				return fmt.Errorf("workload: class %q incast fanin %d must be non-negative", c.Name, c.Placement.Fanin)
+			}
+		default:
+			return fmt.Errorf("workload: class %q unknown placement policy %q (want %s, %s, %s, or %s)",
+				c.Name, c.Placement.Policy, PlaceUniform, PlaceCrossLeaf, PlaceLeafLocal, PlaceIncast)
+		}
+		if c.Placement.Policy == PlaceLeafLocal && f.HostsPerLeaf < 2 {
+			return fmt.Errorf("workload: class %q leaf-local placement needs >=2 hosts per leaf", c.Name)
+		}
+	}
+	return nil
+}
+
+// classSeed derives class i's private RNG seed from the run seed. The odd
+// multiplier (golden-ratio mix) decorrelates adjacent classes and keeps the
+// stream a pure function of (seed, class index).
+func classSeed(seed int64, i int) int64 {
+	return seed ^ (int64(i+1) * -0x61c8864680b583eb)
+}
+
+// drawPair picks one (src, dst) host pair under the class's placement
+// policy from the class's own stream.
+func drawPair(rng *rand.Rand, f FabricSpec, pl PlacementSpec) (sl, sh, dl, dh int) {
+	switch pl.Policy {
+	case PlaceCrossLeaf:
+		sl = rng.Intn(f.Leaves)
+		dl = rng.Intn(f.Leaves - 1)
+		if dl >= sl {
+			dl++
+		}
+		return sl, rng.Intn(f.HostsPerLeaf), dl, rng.Intn(f.HostsPerLeaf)
+	case PlaceLeafLocal:
+		sl = rng.Intn(f.Leaves)
+		sh = rng.Intn(f.HostsPerLeaf)
+		dh = rng.Intn(f.HostsPerLeaf - 1)
+		if dh >= sh {
+			dh++
+		}
+		return sl, sh, sl, dh
+	case PlaceIncast:
+		dl, dh = pl.Leaf, pl.Host
+		for {
+			sl, sh = rng.Intn(f.Leaves), rng.Intn(f.HostsPerLeaf)
+			if sl != dl || sh != dh {
+				return sl, sh, dl, dh
+			}
+		}
+	default: // uniform
+		n := f.Leaves * f.HostsPerLeaf
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		return src / f.HostsPerLeaf, src % f.HostsPerLeaf, dst / f.HostsPerLeaf, dst % f.HostsPerLeaf
+	}
+}
+
+// Generate expands the spec into a trace: each class walks its own seeded
+// arrival stream across the window, drawing sizes and placements per flow;
+// the class streams are then merged by start time (stable, so equal-instant
+// ties resolve by class order then arrival order — deterministically). The
+// result is a pure function of (spec, seed).
+func (s *Spec) Generate(seed int64) (*Trace, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	dur, drain, err := s.window()
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{
+		Name:         s.Name,
+		Seed:         seed,
+		NLeaf:        s.Fabric.Leaves,
+		HostsPerLeaf: s.Fabric.HostsPerLeaf,
+		NSpine:       s.Fabric.Spines,
+		Horizon:      simtime.Time(dur + drain),
+	}
+	for ci, c := range s.Classes {
+		tr.Classes = append(tr.Classes, TraceClass{Name: c.Name, SLO: c.SLO})
+		arr, _ := NewArrival(c.Arrival.Process, c.Arrival.Rate, c.Arrival.Shape)
+		cdf, _ := cdfFor(c.Name, c.Size)
+		transport, _ := ParseTransport(c.Transport)
+		fanin := 1
+		if c.Placement.Policy == PlaceIncast && c.Placement.Fanin > 1 {
+			fanin = c.Placement.Fanin
+		}
+		rng := rand.New(rand.NewSource(classSeed(seed, ci)))
+		t := simtime.Time(0)
+		for {
+			t = t.Add(arr.Gap(rng))
+			if t >= simtime.Time(dur) {
+				break
+			}
+			for k := 0; k < fanin; k++ {
+				sl, sh, dl, dh := drawPair(rng, s.Fabric, c.Placement)
+				tr.Flows = append(tr.Flows, TraceFlow{
+					Start: t, SrcLeaf: sl, SrcHost: sh, DstLeaf: dl, DstHost: dh,
+					Bytes: cdf.Sample(rng), Class: ci, Transport: transport,
+				})
+			}
+		}
+	}
+	sort.SliceStable(tr.Flows, func(i, j int) bool { return tr.Flows[i].Start < tr.Flows[j].Start })
+	return tr, tr.Validate()
+}
+
+// DefaultMixSpec is the built-in three-class production mix the mix-spec
+// experiment runs when no -workload-spec file is given: latency-SLO web
+// request/response traffic (Poisson, small flows, DCQCN), throughput-SLO
+// cache fill traffic (bursty Gamma arrivals, mid-size flows, DCTCP), and
+// bulk-SLO AI batch traffic (heavy-tailed Weibull gaps, large fixed
+// transfers, DCQCN), all crossing a 4-leaf fabric.
+func DefaultMixSpec() *Spec {
+	return &Spec{
+		Name:     "mix-default",
+		Fabric:   FabricSpec{Leaves: 4, HostsPerLeaf: 4, Spines: 3},
+		Duration: "300us",
+		Drain:    "1ms",
+		Classes: []ClassSpec{
+			{
+				Name: "web", SLO: "latency", Transport: "dcqcn",
+				Arrival:   ArrivalSpec{Process: ArrivalPoisson, Rate: 300e3},
+				Size:      SizeSpec{Dist: "uniform", MinBytes: 1 * KBf, MaxBytes: 16 * KBf},
+				Placement: PlacementSpec{Policy: PlaceUniform},
+			},
+			{
+				Name: "cache", SLO: "throughput", Transport: "tcp",
+				Arrival:   ArrivalSpec{Process: ArrivalGamma, Rate: 100e3, Shape: 0.7},
+				Size:      SizeSpec{Dist: "uniform", MinBytes: 32 * KBf, MaxBytes: 128 * KBf},
+				Placement: PlacementSpec{Policy: PlaceCrossLeaf},
+			},
+			{
+				Name: "ai-batch", SLO: "bulk", Transport: "dcqcn",
+				Arrival:   ArrivalSpec{Process: ArrivalWeibull, Rate: 40e3, Shape: 0.6},
+				Size:      SizeSpec{Dist: "fixed", Bytes: 256 * KBf},
+				Placement: PlacementSpec{Policy: PlaceCrossLeaf},
+			},
+		},
+	}
+}
+
+// KBf is 1024 bytes as an int64, for spec literals.
+const KBf int64 = 1024

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func specJSON(s string) string { return strings.TrimSpace(s) }
+
+func TestParseSpecRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"not json", `{`},
+		{"no classes", `{"name":"x","fabric":{"leaves":2,"hosts_per_leaf":2,"spines":1},"duration":"100us"}`},
+		{"duplicate class", `{"name":"x","fabric":{"leaves":2,"hosts_per_leaf":2,"spines":1},"duration":"100us",
+			"classes":[
+			 {"name":"a","arrival":{"process":"poisson","rate":1e5},"size":{"dist":"fixed","bytes":100}},
+			 {"name":"a","arrival":{"process":"poisson","rate":1e5},"size":{"dist":"fixed","bytes":100}}]}`},
+		{"zero rate", `{"name":"x","fabric":{"leaves":2,"hosts_per_leaf":2,"spines":1},"duration":"100us",
+			"classes":[{"name":"a","arrival":{"process":"poisson"},"size":{"dist":"fixed","bytes":100}}]}`},
+		{"unknown process", `{"name":"x","fabric":{"leaves":2,"hosts_per_leaf":2,"spines":1},"duration":"100us",
+			"classes":[{"name":"a","arrival":{"process":"pareto","rate":1e5},"size":{"dist":"fixed","bytes":100}}]}`},
+		{"unknown size dist", `{"name":"x","fabric":{"leaves":2,"hosts_per_leaf":2,"spines":1},"duration":"100us",
+			"classes":[{"name":"a","arrival":{"process":"poisson","rate":1e5},"size":{"dist":"zipf","bytes":100}}]}`},
+		{"unknown transport", `{"name":"x","fabric":{"leaves":2,"hosts_per_leaf":2,"spines":1},"duration":"100us",
+			"classes":[{"name":"a","transport":"quic","arrival":{"process":"poisson","rate":1e5},"size":{"dist":"fixed","bytes":100}}]}`},
+		{"unknown placement", `{"name":"x","fabric":{"leaves":2,"hosts_per_leaf":2,"spines":1},"duration":"100us",
+			"classes":[{"name":"a","arrival":{"process":"poisson","rate":1e5},"size":{"dist":"fixed","bytes":100},
+			 "placement":{"policy":"ring"}}]}`},
+		{"incast victim out of range", `{"name":"x","fabric":{"leaves":2,"hosts_per_leaf":2,"spines":1},"duration":"100us",
+			"classes":[{"name":"a","arrival":{"process":"poisson","rate":1e5},"size":{"dist":"fixed","bytes":100},
+			 "placement":{"policy":"incast","leaf":5,"host":0}}]}`},
+		{"cross-leaf on one leaf", `{"name":"x","fabric":{"leaves":1,"hosts_per_leaf":4,"spines":1},"duration":"100us",
+			"classes":[{"name":"a","arrival":{"process":"poisson","rate":1e5},"size":{"dist":"fixed","bytes":100},
+			 "placement":{"policy":"cross-leaf"}}]}`},
+		{"tiny fabric", `{"name":"x","fabric":{"leaves":1,"hosts_per_leaf":1,"spines":1},"duration":"100us",
+			"classes":[{"name":"a","arrival":{"process":"poisson","rate":1e5},"size":{"dist":"fixed","bytes":100}}]}`},
+		{"bad duration", `{"name":"x","fabric":{"leaves":2,"hosts_per_leaf":2,"spines":1},"duration":"fast",
+			"classes":[{"name":"a","arrival":{"process":"poisson","rate":1e5},"size":{"dist":"fixed","bytes":100}}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ParseSpec([]byte(specJSON(c.json))); err == nil {
+			t.Errorf("%s: ParseSpec accepted an invalid spec", c.name)
+		}
+	}
+}
+
+func TestDefaultMixSpecValid(t *testing.T) {
+	s := DefaultMixSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	if len(s.Classes) < 3 {
+		t.Fatalf("default spec has %d classes, want >=3", len(s.Classes))
+	}
+}
+
+// Generate is a pure function of (spec, seed): two expansions at the same
+// seed are Equal, and different seeds diverge.
+func TestGenerateDeterministic(t *testing.T) {
+	s := DefaultMixSpec()
+	a, err := s.Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same (spec, seed) generated different traces")
+	}
+	c, err := s.Generate(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Fatal("different seeds generated identical traces")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	s := DefaultMixSpec()
+	tr, err := s.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if len(tr.Classes) != len(s.Classes) {
+		t.Fatalf("trace has %d classes, want %d", len(tr.Classes), len(s.Classes))
+	}
+	// Every class contributes flows, and starts are sorted.
+	seen := make([]int, len(tr.Classes))
+	for i, f := range tr.Flows {
+		seen[f.Class]++
+		if i > 0 && f.Start < tr.Flows[i-1].Start {
+			t.Fatal("generated flows not sorted by start")
+		}
+	}
+	for i, n := range seen {
+		if n == 0 {
+			t.Errorf("class %s generated no flows", tr.Classes[i].Name)
+		}
+	}
+}
+
+func TestGenerateIncastPlacement(t *testing.T) {
+	spec := specJSON(`{"name":"inc","fabric":{"leaves":3,"hosts_per_leaf":4,"spines":2},"duration":"200us",
+		"classes":[{"name":"fanin","slo":"latency",
+		 "arrival":{"process":"poisson","rate":5e4},
+		 "size":{"dist":"fixed","bytes":2048},
+		 "placement":{"policy":"incast","leaf":1,"host":2,"fanin":5}}]}`)
+	s, err := ParseSpec([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Flows) == 0 {
+		t.Fatal("incast spec generated no flows")
+	}
+	if len(tr.Flows)%5 != 0 {
+		t.Fatalf("incast generated %d flows, want a multiple of fanin=5", len(tr.Flows))
+	}
+	for _, f := range tr.Flows {
+		if f.DstLeaf != 1 || f.DstHost != 2 {
+			t.Fatalf("incast flow targets (%d,%d), want victim (1,2)", f.DstLeaf, f.DstHost)
+		}
+		if f.SrcLeaf == 1 && f.SrcHost == 2 {
+			t.Fatal("incast victim sends to itself")
+		}
+	}
+}
+
+func TestClassSeedsDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 16; i++ {
+		s := classSeed(1, i)
+		if seen[s] {
+			t.Fatalf("class seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if classSeed(1, 0) == classSeed(2, 0) {
+		t.Fatal("run seed does not perturb class seeds")
+	}
+}
