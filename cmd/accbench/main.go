@@ -28,6 +28,11 @@
 //	                               # uncongested workload at packet fidelity vs
 //	                               # the flow-level fast-forward engine, written
 //	                               # to -hybrid-out (BENCH_hybrid.json)
+//	accbench -sweep 16             # warm-vs-cold sweep benchmark: a 16-branch
+//	                               # warmup-dominated WRED matrix via the cold
+//	                               # executor (per-branch warmup) and the warm
+//	                               # executor (snapshot once, fork), written to
+//	                               # -sweep-out (BENCH_sweep.json)
 package main
 
 import (
@@ -70,6 +75,10 @@ type trajectoryRun struct {
 	// comparison for such records.
 	Fidelity string             `json:"fidelity,omitempty"`
 	Hybrid   *perf.HybridResult `json:"hybrid,omitempty"`
+	// Sweep carries warm-vs-cold sweep executor records (Fidelity "sweep");
+	// Result is zero for such records — the measurand is scenarios/sec, not
+	// events/sec.
+	Sweep *perf.SweepResult `json:"sweep,omitempty"`
 }
 
 // gitShortSHA returns the current commit's short SHA, or "unknown" when git
@@ -130,6 +139,10 @@ func main() {
 	var (
 		workloadSpec = flag.String("workload-spec", "", "also run the workload-engine benchmark with this spec file ('default' = built-in three-class mix, '' = skip)")
 		workloadOut  = flag.String("workload-out", "BENCH_workload.json", "workload benchmark output path ('-' = stdout only)")
+	)
+	var (
+		sweepN   = flag.Int("sweep", 0, "also run the warm-vs-cold sweep benchmark with this many branches (0 = skip)")
+		sweepOut = flag.String("sweep-out", "BENCH_sweep.json", "sweep benchmark output path ('-' = stdout only)")
 	)
 	so := perf.DefaultShardOptions()
 	var (
@@ -290,6 +303,53 @@ func main() {
 			}
 		}
 		os.Stdout.Write(buf)
+	}
+
+	if *sweepN > 0 {
+		swo := perf.DefaultSweepOptions(*sweepN)
+		swo.Matrix.Base.Seed = *seed
+		fmt.Fprintf(os.Stderr, "accbench: sweep benchmark: %d branches, %d shards, %s fidelity, warm %gus / horizon %gus\n",
+			*sweepN, swo.Matrix.Base.Shards, swo.Matrix.Base.Fidelity,
+			float64(swo.Matrix.WarmPoint)/1e3, float64(swo.Matrix.Base.Horizon)/1e3)
+		swr, err := perf.RunSweep(swo)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "accbench: sweep: warm %.2f scenarios/s vs cold %.2f scenarios/s (%.1fx)\n",
+			swr.Warm.ScenariosPerSec, swr.Cold.ScenariosPerSec, swr.Speedup)
+		buf, err := json.MarshalIndent(swr, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if *sweepOut != "-" {
+			if err := os.WriteFile(*sweepOut, buf, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		os.Stdout.Write(buf)
+		if *trajectory != "" {
+			id := *commit
+			if id == "" {
+				id = gitShortSHA()
+			}
+			run := trajectoryRun{
+				Commit:    id,
+				Date:      time.Now().UTC().Format(time.RFC3339),
+				Seed:      swo.Matrix.Base.Seed,
+				GoVersion: runtime.Version(),
+				GOOS:      runtime.GOOS,
+				GOARCH:    runtime.GOARCH,
+				MaxProcs:  runtime.GOMAXPROCS(0),
+				Note:      note,
+				Fidelity:  "sweep",
+				Sweep:     &swr,
+			}
+			if err := appendTrajectory(*trajectory, run); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "accbench: appended sweep run %s to %s (speedup %.1fx)\n", id, *trajectory, swr.Speedup)
+		}
 	}
 
 	if *shards > 0 {

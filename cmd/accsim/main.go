@@ -34,6 +34,20 @@
 //	                                       # <exp>.trace.jsonl, <exp>.metrics.prom
 //	accsim -exp fig12 -obs-addr :9090      # live /metrics, /manifest,
 //	                                       # /trace?last=N, /debug/pprof while running
+//
+// The snapshot world (internal/snap, internal/sweep) runs without -exp:
+//
+//	accsim -snapshot w.accsnap -snap-at 300us -shards 4 -fidelity hybrid
+//	                               # run the canonical snapshot scenario, freeze
+//	                               # it mid-run to a file, continue to the
+//	                               # horizon, print the outcome digest
+//	accsim -resume w.accsnap       # rebuild from the file alone and run to the
+//	                               # horizon — the digest matches the line above
+//	accsim -sweep 8 -sweep-out out -shards 4 -fidelity hybrid
+//	                               # warm-fork and cold sweeps of an 8-branch
+//	                               # WRED matrix; writes byte-identical
+//	                               # sweep_warm.csv / sweep_cold.csv plus
+//	                               # per-branch obs manifests into out/
 package main
 
 import (
@@ -41,13 +55,35 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
+	"runtime"
 	"time"
 
 	"github.com/accnet/acc/internal/exp"
 	"github.com/accnet/acc/internal/obs"
 	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/snap"
+	"github.com/accnet/acc/internal/sweep"
 	"github.com/accnet/acc/internal/workload"
 )
+
+// snapScenario is the canonical snapshot-world scenario the -snapshot,
+// -resume, and -sweep modes run: a congested mixed TCP/DCQCN fabric with
+// a 600 us horizon, parameterized by the shared -seed/-shards/-fidelity
+// flags. -resume does not consult it — the scenario rides inside the
+// snapshot file.
+func snapScenario(seed int64, shards int, fidelity string) snap.Scenario {
+	if shards <= 0 {
+		shards = 1
+	}
+	return snap.Scenario{
+		NLeaf: 4, HostsPerLeaf: 3, NSpine: 2, Shards: shards,
+		Seed:  seed,
+		Flows: 96, MaxBytes: 96 * simtime.KB, Spread: 500 * simtime.Microsecond, MixTCP: true,
+		Horizon:  simtime.Time(600 * simtime.Microsecond),
+		Fidelity: fidelity,
+	}
+}
 
 func main() {
 	var (
@@ -74,8 +110,111 @@ func main() {
 		workloadSpec = flag.String("workload-spec", "", "mix-*: JSON workload spec file (multi-client classes; see DESIGN.md 'Workload engine')")
 		recordTrace  = flag.String("record-trace", "", "mix-*: record the as-executed flow trace to this file (.bin = binary, else JSONL)")
 		replayTrace  = flag.String("replay-trace", "", "mix-*: replay a recorded flow trace instead of generating traffic")
+
+		snapFile   = flag.String("snapshot", "", "run the canonical snapshot scenario, freeze it to this file at -snap-at, continue to the horizon, print the digest")
+		snapAt     = flag.Duration("snap-at", 300*time.Microsecond, "virtual instant the -snapshot file captures (must be inside the 600us horizon)")
+		resumeFile = flag.String("resume", "", "rebuild a world from this snapshot file and run it to its horizon (no -exp needed)")
+		sweepN     = flag.Int("sweep", 0, "run a warm-fork and a cold sweep of an N-branch WRED matrix; writes sweep_warm.csv/sweep_cold.csv + per-branch obs manifests to -sweep-out")
+		sweepOut   = flag.String("sweep-out", "sweep-out", "directory for -sweep artifacts (created if missing)")
 	)
 	flag.Parse()
+
+	switch *fidelity {
+	case "", "packet", "hybrid":
+	default:
+		fmt.Fprintf(os.Stderr, "accsim: unknown -fidelity %q (want 'packet' or 'hybrid')\n", *fidelity)
+		os.Exit(2)
+	}
+
+	// Snapshot-world modes run without -exp. Preflight their file arguments
+	// first: a bad path or corrupt image is a user error and deserves a clean
+	// one-line diagnostic before any simulation work, like -workload-spec.
+	if *resumeFile != "" {
+		data, sc, err := snap.ReadFile(*resumeFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "accsim: -resume:", err)
+			os.Exit(2)
+		}
+		w, err := snap.Restore(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "accsim: -resume:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "accsim: resumed %s at %v (fidelity %q, %d shards)\n",
+			*resumeFile, w.Now(), sc.Fidelity, sc.Shards)
+		w.Run(sc.Horizon)
+		s := w.Summarize()
+		fmt.Printf("digest %016x flows %d/%d marks %d drops %d events %d\n",
+			s.Digest, s.FlowsCompleted, s.FlowsOffered, s.Marks, s.Drops, s.Processed)
+		return
+	}
+	if *snapFile != "" {
+		if dir := filepath.Dir(*snapFile); dir != "." {
+			if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+				fmt.Fprintf(os.Stderr, "accsim: -snapshot: directory %s does not exist\n", dir)
+				os.Exit(2)
+			}
+		}
+		sc := snapScenario(*seed, *shards, *fidelity)
+		at := simtime.Time(simtime.Duration((*snapAt).Nanoseconds()))
+		if at <= 0 || at >= sc.Horizon {
+			fmt.Fprintf(os.Stderr, "accsim: -snap-at: %v outside (0, %v)\n", *snapAt, sc.Horizon)
+			os.Exit(2)
+		}
+		w, err := snap.Build(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "accsim: -snapshot:", err)
+			os.Exit(1)
+		}
+		w.Run(at)
+		img := w.Snapshot()
+		if err := snap.WriteFile(*snapFile, img); err != nil {
+			fmt.Fprintln(os.Stderr, "accsim: -snapshot:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "accsim: snapshot %s at %v (%d bytes); continuing to %v\n",
+			*snapFile, at, len(img), sc.Horizon)
+		w.Run(sc.Horizon)
+		s := w.Summarize()
+		fmt.Printf("digest %016x flows %d/%d marks %d drops %d events %d\n",
+			s.Digest, s.FlowsCompleted, s.FlowsOffered, s.Marks, s.Drops, s.Processed)
+		return
+	}
+	if *sweepN > 0 {
+		if err := os.MkdirAll(*sweepOut, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "accsim: -sweep-out:", err)
+			os.Exit(2)
+		}
+		m := sweep.Matrix{
+			Base:      snapScenario(*seed, *shards, *fidelity),
+			WarmPoint: simtime.Time(300 * simtime.Microsecond),
+			Branches:  sweep.WREDLadder(*sweepN),
+		}
+		opts := sweep.Options{Parallel: runtime.GOMAXPROCS(0), ObsDir: *sweepOut}
+		warm, err := sweep.RunWarm(m, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "accsim: -sweep:", err)
+			os.Exit(1)
+		}
+		cold, err := sweep.RunCold(m, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "accsim: -sweep:", err)
+			os.Exit(1)
+		}
+		for name, r := range map[string]*sweep.Result{"sweep_warm.csv": warm, "sweep_cold.csv": cold} {
+			if err := os.WriteFile(filepath.Join(*sweepOut, name), []byte(r.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "accsim: -sweep:", err)
+				os.Exit(1)
+			}
+		}
+		if ok, who := sweep.Equal(warm, cold); !ok {
+			fmt.Fprintf(os.Stderr, "accsim: -sweep: warm fork diverged from cold run at branch %s\n", who)
+			os.Exit(1)
+		}
+		fmt.Printf("# sweep (%d branches, %d shards, fidelity %q): warm fork == cold run\n%s",
+			*sweepN, m.Base.Shards, m.Base.Fidelity, warm.CSV())
+		return
+	}
 
 	if *list || *expID == "" {
 		fmt.Println("available experiments:")
@@ -88,12 +227,6 @@ func main() {
 		return
 	}
 
-	switch *fidelity {
-	case "", "packet", "hybrid":
-	default:
-		fmt.Fprintf(os.Stderr, "accsim: unknown -fidelity %q (want 'packet' or 'hybrid')\n", *fidelity)
-		os.Exit(2)
-	}
 	if *expID != "all" {
 		known := false
 		for _, e := range exp.List() {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/accnet/acc/internal/eventq"
 	"github.com/accnet/acc/internal/netsim"
 	"github.com/accnet/acc/internal/rl"
 	"github.com/accnet/acc/internal/simtime"
@@ -49,6 +50,11 @@ type System struct {
 
 	Exchanges uint64
 	stopped   bool
+
+	// exchEv/exchFn are the exchange loop's reusable timer handle and
+	// pre-bound callback (see Tuner.tickEv).
+	exchEv *eventq.Event
+	exchFn func()
 }
 
 // NewSystem deploys ACC on every switch. If model is non-nil its weights
@@ -75,6 +81,13 @@ func NewSystem(net *netsim.Network, switches []*netsim.Switch, model *rl.MLP, cf
 			agent = s.newAgent(net, model)
 		}
 		s.Tuners = append(s.Tuners, NewTuner(net, sw, agent, cfg.Tuner))
+	}
+	s.exchFn = func() {
+		if s.stopped {
+			return
+		}
+		s.exchange()
+		s.scheduleExchange()
 	}
 	if !cfg.ShareModel && cfg.ExchangePeriod > 0 && len(s.Tuners) > 1 {
 		s.scheduleExchange()
@@ -113,13 +126,7 @@ func (s *System) SetEpsilon(e float64) {
 }
 
 func (s *System) scheduleExchange() {
-	s.Net.Q.After(s.Cfg.ExchangePeriod, func() {
-		if s.stopped {
-			return
-		}
-		s.exchange()
-		s.scheduleExchange()
-	})
+	s.exchEv = s.Net.Q.ResetAfter(s.exchEv, s.Cfg.ExchangePeriod, s.exchFn)
 }
 
 // exchange moves experience local→global and global→local for every tuner

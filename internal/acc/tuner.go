@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"github.com/accnet/acc/internal/eventq"
 	"github.com/accnet/acc/internal/netsim"
 	"github.com/accnet/acc/internal/red"
 	"github.com/accnet/acc/internal/rl"
@@ -177,8 +178,15 @@ type Tuner struct {
 	Cfg    Config
 
 	rng    *rand.Rand
+	rngSrc *netsim.CountedSource
 	queues []*queueState
 	ticks  int
+
+	// tickEv/tickFn are the ΔT loop's reusable timer handle and pre-bound
+	// callback: each reschedule reuses the handle (no per-tick closure
+	// allocation) and snapshots record/re-arm its (at, seq) slot.
+	tickEv *eventq.Event
+	tickFn func()
 
 	// Counters mirroring the §4.2 CPU-saving discussion.
 	Inferences uint64
@@ -203,12 +211,21 @@ func NewTuner(net *netsim.Network, sw *netsim.Switch, agent *rl.Agent, cfg Confi
 		}
 		agent = rl.NewAgent(ac, net.Rng)
 	}
+	src := netsim.NewCountedSource(rand.NewSource(net.Rng.Int63()))
 	t := &Tuner{
 		Net:    net,
 		Switch: sw,
 		Agent:  agent,
 		Cfg:    cfg,
-		rng:    rand.New(rand.NewSource(net.Rng.Int63())),
+		rng:    rand.New(src),
+		rngSrc: src,
+	}
+	t.tickFn = func() {
+		if t.stopped {
+			return
+		}
+		t.tick()
+		t.schedule()
 	}
 	for _, p := range sw.Ports {
 		sumW := 0
@@ -262,13 +279,7 @@ func (t *Tuner) closestAction(c red.Config) int {
 }
 
 func (t *Tuner) schedule() {
-	t.Net.Q.After(t.Cfg.Period, func() {
-		if t.stopped {
-			return
-		}
-		t.tick()
-		t.schedule()
-	})
+	t.tickEv = t.Net.Q.ResetAfter(t.tickEv, t.Cfg.Period, t.tickFn)
 }
 
 // tick runs one monitoring/inference interval over all queues.

@@ -260,7 +260,7 @@ func (f *Flow) trySend() {
 	}
 	port := f.Src.Port
 	if !port.CanInject(f.P.Prio) {
-		port.WhenReady(f.P.Prio, f.trySendFn)
+		port.WhenReady(f.P.Prio, f)
 		return
 	}
 	payload := f.P.MTU
@@ -446,3 +446,9 @@ func (f *Flow) senderTeardown() {
 // tore down (the sender-shard notion of completion; the receiver's Done
 // lands one delivery later).
 func (f *Flow) SenderDone() bool { return f.sentAll }
+
+// NICReady implements netsim.Waiter: the parked pacer's turn came.
+func (f *Flow) NICReady() { f.trySend() }
+
+// WaiterID implements netsim.Waiter.
+func (f *Flow) WaiterID() (uint8, netsim.FlowID) { return netsim.WaiterDCQCN, f.ID }

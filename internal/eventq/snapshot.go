@@ -1,0 +1,222 @@
+package eventq
+
+import (
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/snap/codec"
+)
+
+// Snapshot support.
+//
+// The queue itself serializes only its counters (clock, sequence counter,
+// processed count) plus a pool-prewarm hint: event *contents* are closures
+// and pre-bound method values, which cannot be written to bytes. Restoring
+// a snapshot therefore rebuilds the world deterministically (construction
+// assigns every plan event the same (at, seq) it had originally, because
+// the sequence counter starts from the same zero), clears the rebuilt
+// queue, restores the counters, and re-inserts pending work through three
+// typed paths:
+//
+//   - RestoreEvent re-inserts a construction-time handle (the closure is
+//     already bound to the rebuilt world) at the (at, seq) it carries.
+//   - RestoreAt / RestoreCallAt materialize a component timer or in-flight
+//     packet event at an explicitly recorded (at, seq) without consuming
+//     the sequence counter, so the restored schedule is bit-identical to
+//     the original.
+//
+// See DESIGN.md "Snapshot & fork" for the full restore protocol.
+
+// SaveState writes the queue's counters and a free-pool prewarm hint.
+// The schedule contents are saved by their owners (see package comment).
+func (q *Queue) SaveState(w *codec.Writer) {
+	w.Tag("eventq")
+	w.I64(int64(q.now))
+	w.U64(q.seq)
+	w.U64(q.processed)
+	w.Int(len(q.free) + q.pooledLive())
+}
+
+// RestoreState clears the queue and restores the counters saved by
+// SaveState, prewarming the event free list so post-restore scheduling is
+// allocation-free. Owners then re-insert still-pending work via
+// RestoreEvent / RestoreAt / RestoreCallAt.
+func (q *Queue) RestoreState(r *codec.Reader) {
+	r.Expect("eventq")
+	now := simtime.Time(r.I64())
+	seq := r.U64()
+	processed := r.U64()
+	warm := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	q.Clear()
+	q.now = now
+	q.seq = seq
+	q.processed = processed
+	if q.buckets != nil {
+		q.baseDay = dayOf(now)
+		q.curDay = q.baseDay
+	}
+	q.Prewarm(warm)
+}
+
+// pooledLive counts resident pooled (CallAt-path) events, live or
+// cancelled. Restore re-materializes that many from the free list, so the
+// prewarm target is free + pooledLive.
+func (q *Queue) pooledLive() int {
+	n := 0
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		for _, ent := range b.ents[b.head:] {
+			if !ent.stale() && ent.ev.pooled {
+				n++
+			}
+		}
+	}
+	for _, ent := range q.ov {
+		if !ent.stale() && ent.ev.pooled {
+			n++
+		}
+	}
+	return n
+}
+
+// Clear removes every entry from the schedule. Pooled events are recycled
+// into the free list; handle events are detached (no longer pending) but
+// keep their (at, seq) and callback, so a subsequent RestoreEvent can
+// re-insert them unchanged. The clock and counters are left untouched.
+func (q *Queue) Clear() {
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		for j := b.head; j < len(b.ents); j++ {
+			q.clearEntry(b.ents[j])
+			b.ents[j] = entry{}
+		}
+		b.head = len(b.ents)
+		if len(b.ents) > 0 {
+			q.clearBucket(b)
+		}
+	}
+	for i, ent := range q.ov {
+		q.clearEntry(ent)
+		q.ov[i] = entry{}
+	}
+	q.ov = q.ov[:0]
+	q.ovStale = 0
+	q.calQ = 0
+	q.live = 0
+}
+
+// clearEntry detaches one resident entry's event. Stale entries (superseded
+// by a Reset) are artifacts: their event's live entry is elsewhere.
+func (q *Queue) clearEntry(ent entry) {
+	if ent.stale() {
+		return
+	}
+	ev := ent.ev
+	ev.pending = false
+	ev.loc = locNone
+	if ev.pooled {
+		ev.cancelled = false
+		q.recycle(ev)
+	}
+}
+
+// RestoreEvent re-inserts a detached handle event at the (at, seq) it
+// already carries. The event must come from the deterministic rebuild of
+// the same world (its callback is bound to live objects) and must not be
+// pending or cancelled.
+func (q *Queue) RestoreEvent(ev *Event) {
+	if ev == nil || ev.pooled {
+		panic("eventq: RestoreEvent needs a handle event")
+	}
+	if ev.pending {
+		panic("eventq: RestoreEvent on a pending event")
+	}
+	if ev.at < q.now {
+		panic("eventq: RestoreEvent in the past")
+	}
+	ev.cancelled = false
+	q.schedule(ev)
+}
+
+// RestoreAt schedules fn at an explicitly recorded (at, seq) and returns
+// the handle, without consuming the monotonic sequence counter. It is the
+// restore-side counterpart of At/Reset for component timers whose original
+// sequence numbers were recorded in a snapshot.
+func (q *Queue) RestoreAt(t simtime.Time, seq uint64, fn func()) *Event {
+	q.checkTime(t)
+	e := &Event{at: t, seq: seq, fn: fn, q: q}
+	q.schedule(e)
+	return e
+}
+
+// RestoreCallAt schedules fn(arg) on a recycled event at an explicitly
+// recorded (at, seq) without consuming the sequence counter — the
+// restore-side counterpart of CallAt/CallAfter/CallAtSeq.
+func (q *Queue) RestoreCallAt(t simtime.Time, seq uint64, fn func(any), arg any) {
+	q.checkTime(t)
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		e = &Event{q: q}
+	}
+	e.at = t
+	e.seq = seq
+	e.afn = fn
+	e.arg = arg
+	e.pooled = true
+	e.cancelled = false
+	q.schedule(e)
+}
+
+// Prewarm grows the event free list to at least n events so subsequent
+// CallAt-path scheduling allocates nothing.
+func (q *Queue) Prewarm(n int) {
+	for len(q.free) < n {
+		q.free = append(q.free, &Event{q: q})
+	}
+}
+
+// SaveTimer records one handle timer's scheduling slot: a pending flag
+// and, when pending, its (at, seq).
+func SaveTimer(w *codec.Writer, ev *Event) {
+	if ev.Pending() {
+		w.Bool(true)
+		w.I64(int64(ev.at))
+		w.U64(ev.seq)
+	} else {
+		w.Bool(false)
+	}
+}
+
+// RestoreTimer re-arms a timer slot recorded by SaveTimer, returning the
+// new handle (nil when the timer was not pending).
+func (q *Queue) RestoreTimer(r *codec.Reader, fn func()) *Event {
+	if !r.Bool() || r.Err() != nil {
+		return nil
+	}
+	at := simtime.Time(r.I64())
+	seq := r.U64()
+	if r.Err() != nil {
+		return nil
+	}
+	return q.RestoreAt(at, seq, fn)
+}
+
+// Seq returns the next monotonic sequence number the queue will assign.
+// Snapshot differential tests use it to assert rebuild equivalence.
+func (q *Queue) Seq() uint64 { return q.seq }
+
+// EventSeq returns the sequence number of a handle event, and EventPending
+// whether it is scheduled: owners record these to re-arm timers on restore.
+func (e *Event) Seq() uint64 { return e.seq }
+
+// Pending reports whether the event is scheduled and will fire.
+func (e *Event) Pending() bool { return e != nil && e.pending }
+
+// Owner returns the queue the event was created on. Restore code uses it
+// to re-insert a detached handle into the correct shard's queue.
+func (e *Event) Owner() *Queue { return e.q }

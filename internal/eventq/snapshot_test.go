@@ -1,0 +1,91 @@
+package eventq_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/accnet/acc/internal/eventq"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/snap/codec"
+)
+
+// TestSnapshotRoundTrip is the encode∘decode identity property for the
+// queue's snapshot surface: for randomized schedules and partial
+// execution, save → restore into a fresh queue → save again must be
+// byte-identical, and the restored counters must match exactly (they are
+// what makes a rebuilt world assign the same (at, seq) slots the
+// original did).
+func TestSnapshotRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := eventq.New()
+		n := 50 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			at := simtime.Time(rng.Int63n(int64(80 * simtime.Microsecond)))
+			if rng.Intn(2) == 0 {
+				q.At(at, func() {})
+			} else {
+				q.CallAt(at, func(any) {}, nil)
+			}
+		}
+		for steps := rng.Intn(n); steps > 0 && q.Step(); steps-- {
+		}
+
+		w := codec.NewWriter()
+		q.SaveState(w)
+		img := w.Finish()
+
+		r, err := codec.NewReader(img)
+		if err != nil {
+			t.Fatalf("seed %d: NewReader: %v", seed, err)
+		}
+		q2 := eventq.New()
+		q2.RestoreState(r)
+		if r.Err() != nil {
+			t.Fatalf("seed %d: RestoreState: %v", seed, r.Err())
+		}
+		if q2.Now() != q.Now() || q2.Seq() != q.Seq() || q2.Processed() != q.Processed() {
+			t.Fatalf("seed %d: counters (now %v seq %d processed %d) != (now %v seq %d processed %d)",
+				seed, q2.Now(), q2.Seq(), q2.Processed(), q.Now(), q.Seq(), q.Processed())
+		}
+
+		w2 := codec.NewWriter()
+		q2.SaveState(w2)
+		if img2 := w2.Finish(); !bytes.Equal(img, img2) {
+			t.Fatalf("seed %d: save∘restore∘save changed bytes (%d vs %d)", seed, len(img), len(img2))
+		}
+	}
+}
+
+// TestTimerSlotRoundTrip: SaveTimer/RestoreTimer must preserve the exact
+// (at, seq) slot — pending and idle timers alike.
+func TestTimerSlotRoundTrip(t *testing.T) {
+	q := eventq.New()
+	pending := q.At(simtime.Time(30*simtime.Microsecond), func() {})
+	var idle *eventq.Event // a never-armed timer slot
+
+	w := codec.NewWriter()
+	eventq.SaveTimer(w, pending)
+	eventq.SaveTimer(w, idle)
+	img := w.Finish()
+
+	r, err := codec.NewReader(img)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	q2 := eventq.New()
+	got := q2.RestoreTimer(r, func() {})
+	if got == nil || !got.Pending() {
+		t.Fatal("pending timer did not restore as pending")
+	}
+	if got.Seq() != pending.Seq() {
+		t.Fatalf("restored timer seq %d, want %d", got.Seq(), pending.Seq())
+	}
+	if idle2 := q2.RestoreTimer(r, func() {}); idle2 != nil {
+		t.Fatal("idle timer restored as pending")
+	}
+	if r.Err() != nil {
+		t.Fatalf("reader: %v", r.Err())
+	}
+}

@@ -131,6 +131,8 @@ type Link struct {
 	lastPauseRx uint64 // Port.PauseRxEvents at the last trigger check
 	wasDown     bool   // Port.IsDown at the last trigger check
 
+	idx int // registration index, the snapshot codec's link identity
+
 	// Water-filling scratch.
 	avail float64
 	nUn   int
@@ -187,6 +189,7 @@ type Flow struct {
 
 	frames    int64 // frames committed to the conservation ledger
 	completed bool
+	evPending bool // a scheduled completion event still points here (queue mode)
 
 	startPacket func(*Flow, int64)
 	onDone      func(*Flow, simtime.Time)
@@ -248,6 +251,10 @@ type Engine struct {
 	tickFn     func(any)
 	completeFn func(any)
 	stopped    bool
+
+	// free recycles finished Flow objects (path capacity included) so
+	// steady-state flow churn allocates nothing.
+	free []*Flow
 }
 
 // New returns an engine scheduling its own advance windows and exact-time
@@ -270,7 +277,7 @@ func NewBarrier(cfg Config, clock func() simtime.Time, tracer *obs.Tracer) *Engi
 // AddLink registers one modeled hop over a physical port, sharing the
 // port's line rate at its propagation delay, and marks the port analytic.
 func (e *Engine) AddLink(p *netsim.Port) *Link {
-	l := &Link{Port: p, Cap: p.Bandwidth, SerRate: p.Bandwidth, Delay: p.Delay}
+	l := &Link{Port: p, Cap: p.Bandwidth, SerRate: p.Bandwidth, Delay: p.Delay, idx: len(e.links)}
 	p.SetFidelity(netsim.FidelityAnalytic)
 	e.links = append(e.links, l)
 	return l
@@ -307,12 +314,15 @@ func (e *Engine) tickEvent(any) {
 	e.q.CallAfter(e.Cfg.Window, e.tickFn, nil)
 }
 
-// StartFlow registers a transfer over path. startPacket launches the
-// packet-level transport for the given remaining payload bytes — called
-// synchronously (now, or at a later trigger instant) exactly once unless
-// the flow completes analytically. onDone fires only for analytic
-// completion, at the flow's exact closed-form End; packet-mode completion
-// belongs to the transport, which must then call PacketDone.
+// StartFlow registers a transfer over path (copied: callers may reuse the
+// slice, e.g. Mesh.Path's scratch). startPacket launches the packet-level
+// transport for the given remaining payload bytes — called synchronously
+// (now, or at a later trigger instant) exactly once unless the flow
+// completes analytically. onDone fires only for analytic completion, at
+// the flow's exact closed-form End; packet-mode completion belongs to the
+// transport, which must then call PacketDone. The returned Flow may be
+// recycled by a later StartFlow once it has fully completed, so callers
+// must not retain it past the callback that observed completion.
 func (e *Engine) StartFlow(path []*Link, o FlowOpts, startPacket func(*Flow, int64), onDone func(*Flow, simtime.Time)) *Flow {
 	now := e.clock()
 	mtu := e.Cfg.MTU
@@ -323,10 +333,11 @@ func (e *Engine) StartFlow(path []*Link, o FlowOpts, startPacket func(*Flow, int
 	if demand <= 0 {
 		demand = path[0].SerRate
 	}
-	f := &Flow{
-		ID: o.ID, Size: o.Size, Prio: o.Prio, Demand: demand, Path: path,
-		Start: now, startPacket: startPacket, onDone: onDone,
-	}
+	f := e.newFlow()
+	f.ID, f.Size, f.Prio, f.Demand = o.ID, o.Size, o.Prio, demand
+	f.Path = append(f.Path, path...)
+	f.Start = now
+	f.startPacket, f.onDone = startPacket, onDone
 	f.nFrames = (o.Size + int64(mtu) - 1) / int64(mtu)
 	if f.nFrames == 0 {
 		f.nFrames = 1
@@ -358,10 +369,36 @@ func (e *Engine) StartFlow(path []*Link, o FlowOpts, startPacket func(*Flow, int
 	if f.Mode == ModeAnalytic {
 		f.End = e.endTime(f)
 		if e.q != nil {
+			f.evPending = true
 			e.q.CallAt(f.End, e.completeFn, f)
 		}
 	}
 	return f
+}
+
+// newFlow takes a recycled Flow from the free list (path capacity
+// retained) or allocates one.
+func (e *Engine) newFlow() *Flow {
+	if n := len(e.free); n > 0 {
+		f := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		path := f.Path[:0]
+		*f = Flow{Path: path}
+		return f
+	}
+	return &Flow{}
+}
+
+// release returns a finished flow to the free list. Deferred while a
+// completion event still points at the flow (a demoted flow's stale event
+// must fire its no-op before the object can be reused) and until the flow
+// has actually completed.
+func (e *Engine) release(f *Flow) {
+	if !f.completed || f.evPending {
+		return
+	}
+	e.free = append(e.free, f)
 }
 
 // pathBlocked reports whether any hop refuses analytic admission.
@@ -433,13 +470,17 @@ func (e *Engine) commitTo(f *Flow, t simtime.Time) {
 }
 
 // completeEvent fires at a flow's exact End (sequential engines). Stale
-// events — the flow demoted after scheduling — are no-ops.
+// events — the flow demoted after scheduling — are no-ops beyond clearing
+// the reuse latch.
 func (e *Engine) completeEvent(arg any) {
 	f := arg.(*Flow)
+	f.evPending = false
 	if f.Mode != ModeAnalytic || f.completed {
+		e.release(f)
 		return
 	}
 	e.complete(f, f.End)
+	e.release(f)
 }
 
 func (e *Engine) complete(f *Flow, end simtime.Time) {
@@ -513,6 +554,7 @@ func (e *Engine) PacketDone(f *Flow) {
 		l.reserved -= f.Demand
 		l.nPacket--
 	}
+	e.release(f)
 }
 
 // demoteLink demotes one link: mark it hot, then convert every analytic
@@ -697,6 +739,7 @@ func (e *Engine) Tick(now simtime.Time) {
 		f := e.flows[i]
 		if !f.completed && f.End <= now {
 			e.complete(f, f.End)
+			e.release(f)
 			continue // complete compacted e.flows
 		}
 		i++
@@ -711,6 +754,7 @@ func (e *Engine) Tick(now simtime.Time) {
 			e.complete(f, f.End)
 		}
 		e.inflight = removeFlow(e.inflight, f)
+		e.release(f)
 	}
 	for _, f := range e.flows {
 		e.commitTo(f, now)

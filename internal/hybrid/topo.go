@@ -23,7 +23,8 @@ type Mesh struct {
 	hostSlot []int // per host index: position within the leaf
 	hostIdx  []int // node id -> host index (-1 for switches)
 
-	alive []int // Path scratch: alive spine indices during a fault
+	alive []int   // Path scratch: alive spine indices during a fault
+	path  []*Link // Path scratch: the returned hop sequence, reused per call
 }
 
 // ForTables registers every data-path egress port of a leaf–spine fabric
@@ -111,12 +112,15 @@ func ForFabric(e *Engine, f *topo.Fabric) *Mesh {
 // Path resolves the egress-port sequence flow id would traverse from src to
 // dst. Cross-leaf paths pick the spine with netsim.EcmpIndex — the packet
 // engine's own hash over (flow id, source leaf node id) — so the fluid
-// model loads the same physical uplink ECMP would.
+// model loads the same physical uplink ECMP would. The returned slice is
+// scratch reused by the next Path call; Engine.StartFlow copies it, so
+// callers that retain a path must copy it themselves.
 func (m *Mesh) Path(id netsim.FlowID, src, dst *netsim.Host) []*Link {
 	si, di := m.hostIdx[src.ID()], m.hostIdx[dst.ID()]
 	sl, dl := m.hostLeaf[si], m.hostLeaf[di]
 	if sl == dl {
-		return []*Link{m.up[si], m.downHost[dl][m.hostSlot[di]]}
+		m.path = append(m.path[:0], m.up[si], m.downHost[dl][m.hostSlot[di]])
+		return m.path
 	}
 	// Hash over the alive uplinks only, exactly like Switch.ecmpPick: a
 	// down uplink shrinks the candidate set before the modulo.
@@ -135,10 +139,11 @@ func (m *Mesh) Path(id netsim.FlowID, src, dst *netsim.Host) []*Link {
 	} else {
 		s = m.alive[netsim.EcmpIndex(id, m.leafID[sl], len(m.alive))]
 	}
-	return []*Link{
+	m.path = append(m.path[:0],
 		m.up[si],
 		m.uplinks[sl][s],
 		m.downlinks[s][dl],
 		m.downHost[dl][m.hostSlot[di]],
-	}
+	)
+	return m.path
 }

@@ -98,7 +98,7 @@ func DefaultConfig() *Config {
 		DeterministicPkgs: internalPkgs(
 			"simtime", "eventq", "netsim", "red", "dcqcn", "tcp", "topo",
 			"workload", "rl", "acc", "exp", "faults", "stats", "obs",
-			"psim", "hybrid",
+			"psim", "hybrid", "snap", "sweep",
 		),
 		// Packages whose scheduling must stay on the closure-free typed
 		// fast path (pre-bound method values, pooled events).
@@ -157,6 +157,15 @@ func DefaultConfig() *Config {
 				File:  "server.go",
 				Reason: "the live introspection endpoint serves HTTP while the simulation runs; " +
 					"it is wall-clock concurrent by design and touches no simulation state",
+			},
+			{
+				Check: "determinism",
+				Pkg:   Module + "/internal/sweep",
+				File:  "sweep.go",
+				Func:  "run",
+				Reason: "the branch fan-out: each branch restores an independent World (own Networks, " +
+					"RNGs, event queues) and writes only its own result slot, so concurrency cannot " +
+					"reorder events within a branch — TestParallelMatchesSerial proves it",
 			},
 			{
 				Check: "determinism",

@@ -75,6 +75,11 @@ func (h *Host) Register(f FlowID, e Endpoint) { h.endpoints[f] = e }
 // Unregister removes a flow binding.
 func (h *Host) Unregister(f FlowID) { delete(h.endpoints, f) }
 
+// ResetEndpoints removes every flow binding. Snapshot restore uses it to
+// discard construction-time transports the overlay supersedes (hybrid
+// applications start due flows synchronously at apply time).
+func (h *Host) ResetEndpoints() { clear(h.endpoints) }
+
 // Send enqueues a packet on the NIC egress queue for its priority. The
 // network owns the packet from this point on; a WRED drop at the NIC retires
 // it immediately.

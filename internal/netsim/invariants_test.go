@@ -157,7 +157,7 @@ func TestFIFOInjectionFairness(t *testing.T) {
 		var pump func()
 		pump = func() {
 			if !p1.CanInject(0) {
-				p1.WhenReady(0, pump)
+				p1.WhenReady(0, WaiterFunc(pump))
 				return
 			}
 			h1.Send(&Packet{Kind: KindData, Flow: 1, Src: h1.ID(), Dst: h2.ID(), Size: 1048})

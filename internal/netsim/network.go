@@ -42,6 +42,14 @@ type Network struct {
 	nodes    []Node
 	nextFlow FlowID
 
+	// rootSrc and nodeSrc are the counting wrappers under Rng and the
+	// per-node streams. Snapshots save each stream's draw count; restore
+	// rebuilds the source from the same derivation and fast-forwards it
+	// (see snapshot.go), so the numeric streams — and every golden table —
+	// are unchanged by snapshot support.
+	rootSrc *CountedSource
+	nodeSrc map[int]*CountedSource
+
 	// pktFree is the Packet free list backing AllocPacket/ReleasePacket. It
 	// is per-Network, like the RNG: experiment runners execute independent
 	// Networks in parallel (exp.forEachParallel) and must never share pools.
@@ -53,10 +61,13 @@ type Network struct {
 
 // New creates an empty network seeded deterministically.
 func New(seed int64) *Network {
+	src := NewCountedSource(rand.NewSource(seed))
 	return &Network{
-		Q:    eventq.New(),
-		Rng:  rand.New(rand.NewSource(seed)),
-		seed: seed,
+		Q:       eventq.New(),
+		Rng:     rand.New(src),
+		seed:    seed,
+		rootSrc: src,
+		nodeSrc: make(map[int]*CountedSource),
 	}
 }
 
@@ -96,7 +107,11 @@ func (n *Network) nodeRng(id int) *rand.Rand {
 	z := uint64(n.seed) + 0x9e3779b97f4a7c15*uint64(id+1)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+	src := NewCountedSource(rand.NewSource(int64(z ^ (z >> 31))))
+	if n.nodeSrc != nil {
+		n.nodeSrc[id] = src
+	}
+	return rand.New(src)
 }
 
 // Node returns the node with the given id (nil for an unoccupied id in a

@@ -28,9 +28,14 @@ type EgressQueue struct {
 	pkts    []*Packet // FIFO; head at index head
 	head    int
 	bytes   int
-	waiters []func() // FIFO; head at index whead
+	waiters []Waiter // FIFO; head at index whead
 	whead   int
 	serving bool // a waiter is being served: it may inject past the queue
+
+	// restoreWaiters holds snapshot waiter identities between a port
+	// restore and Network.ResolveWaiters (transports are rebuilt in
+	// between); empty otherwise.
+	restoreWaiters []WaiterRef
 
 	// Byte-time integral for exact average-queue-length telemetry: consumers
 	// take (integral delta)/(window) to get mean depth over a window, which
@@ -138,6 +143,20 @@ type Port struct {
 	// pending at one instant — impossible by orders of magnitude.
 	rxStream uint32
 	txSeq    uint32
+
+	// Snapshot bookkeeping for the two in-flight packet populations of a
+	// port (see snapshot.go): the packet on the transmitter (busy implies
+	// txPkt non-nil; txAt/txEvSeq are its pending txDone event's slot) and
+	// the packets propagating on the wire, as a FIFO ring in arrival order.
+	// A local port's ring holds its own outbound flight (arriveFn events);
+	// a cross-shard port's ring holds its inbound flight injected by the
+	// far shard (remoteArriveFn events). Maintenance is O(1) per packet and
+	// allocation-free in steady state.
+	txPkt   *Packet
+	txAt    simtime.Time
+	txEvSeq uint64
+	flight  []flightRec
+	fhead   int
 
 	// Pre-bound callbacks for the two per-packet events (serialization done,
 	// propagation done), created once in newPort so the hot path schedules
@@ -330,6 +349,37 @@ func (p *Port) Enqueue(pkt *Packet, rng *rand.Rand) red.Verdict {
 	return v
 }
 
+// Waiter is a sender parked on a full NIC queue, woken in FIFO order once
+// room frees up (see WhenReady). The identity pair makes the park order
+// serializable: a snapshot records (kind, flow) per waiter and restore
+// re-parks the rebuilt transport objects in the same order (see
+// WaiterKind and snapshot.go).
+type Waiter interface {
+	// NICReady is called when the waiter's turn comes; it must re-check
+	// CanInject and may re-register.
+	NICReady()
+	// WaiterID identifies the waiter for snapshots: kind is a WaiterKind
+	// constant and flow the transport's flow id.
+	WaiterID() (kind uint8, flow FlowID)
+}
+
+// WaiterKind values identify Waiter implementations in snapshots.
+const (
+	WaiterNone  uint8 = iota // unserializable (test shims)
+	WaiterDCQCN              // *dcqcn.Flow
+	WaiterTCP                // *tcp.Flow
+)
+
+// WaiterFunc adapts a bare function to Waiter for tests and tools that
+// never snapshot; it serializes as WaiterNone and panics on restore.
+type WaiterFunc func()
+
+// NICReady implements Waiter.
+func (f WaiterFunc) NICReady() { f() }
+
+// WaiterID implements Waiter.
+func (f WaiterFunc) WaiterID() (uint8, FlowID) { return WaiterNone, 0 }
+
 // CanInject reports whether a sender may enqueue another packet at priority
 // prio. Admission is FIFO-fair: while other senders are parked in the
 // waiter queue, newcomers must line up behind them even if buffer space is
@@ -346,14 +396,14 @@ func (p *Port) CanInject(prio int) bool {
 	return q.serving || len(q.waiters) == q.whead
 }
 
-// WhenReady registers fn to run once the priority's queue has room and fn's
-// turn comes (FIFO). Callbacks must re-check CanInject and may re-register.
-func (p *Port) WhenReady(prio int, fn func()) {
+// WhenReady parks w until the priority's queue has room and w's turn comes
+// (FIFO). NICReady must re-check CanInject and may re-register.
+func (p *Port) WhenReady(prio int, w Waiter) {
 	q := p.Queue(prio)
 	if q == nil {
 		q = p.Queues[0]
 	}
-	q.waiters = append(q.waiters, fn)
+	q.waiters = append(q.waiters, w)
 }
 
 // wakeWaiters serves parked senders in FIFO order while the queue has room.
@@ -368,7 +418,7 @@ func (p *Port) wakeWaiters(q *EgressQueue) {
 		q.waiters[q.whead] = nil
 		q.whead++
 		q.serving = true
-		w()
+		w.NICReady()
 		q.serving = false
 	}
 	if q.whead == len(q.waiters) {
@@ -441,6 +491,9 @@ func (p *Port) trySend() {
 	p.busy = true
 	p.wakeWaiters(q)
 	txd := simtime.TxTime(pkt.Size, p.Bandwidth)
+	p.txPkt = pkt
+	p.txAt = p.net.Q.Now().Add(txd)
+	p.txEvSeq = p.net.Q.Seq()
 	p.net.Q.CallAfter(txd, p.txDoneFn, pkt)
 }
 
@@ -450,6 +503,7 @@ func (p *Port) trySend() {
 func (p *Port) txDone(arg any) {
 	pkt := arg.(*Packet)
 	p.busy = false
+	p.txPkt = nil
 	if rel, ok := p.Owner.(bufferReleaser); ok {
 		rel.releaseBuffer(pkt)
 	}
@@ -488,7 +542,39 @@ func (p *Port) deliver(pkt *Packet) {
 		p.remote.Deliver(pkt, at, key)
 		return
 	}
+	p.flightPush(flightRec{pkt: pkt, at: at, key: key})
 	p.net.Q.CallAtSeq(at, key, p.arriveFn, pkt)
+}
+
+// flightRec is one packet on the wire, recorded so a snapshot can save and
+// re-schedule the in-flight population exactly.
+type flightRec struct {
+	pkt *Packet
+	at  simtime.Time
+	key uint64
+}
+
+func (p *Port) flightPush(rec flightRec) {
+	p.flight = append(p.flight, rec)
+}
+
+// flightPop removes the oldest in-flight record, which is always the one
+// whose arrival fires next: a port's flight is fed by one transmitter, so
+// records are pushed in (at, key) order.
+func (p *Port) flightPop() {
+	p.flight[p.fhead] = flightRec{}
+	p.fhead++
+	if p.fhead == len(p.flight) {
+		p.flight = p.flight[:0]
+		p.fhead = 0
+	} else if p.fhead > 1024 && p.fhead*2 > len(p.flight) {
+		n := copy(p.flight, p.flight[p.fhead:])
+		for i := n; i < len(p.flight); i++ {
+			p.flight[i] = flightRec{}
+		}
+		p.flight = p.flight[:n]
+		p.fhead = 0
+	}
 }
 
 // arrive runs when a packet finishes propagating: it delivers to the peer
@@ -496,6 +582,7 @@ func (p *Port) deliver(pkt *Packet) {
 // reading it at arrival time matches the value at transmission time.
 func (p *Port) arrive(arg any) {
 	pkt := arg.(*Packet)
+	p.flightPop()
 	if p.down {
 		p.blackhole(pkt)
 		return
@@ -515,6 +602,7 @@ func (p *Port) arrive(arg any) {
 // sequential run, and guarantees the transmitter no longer touches the
 // object (see RemoteEnd).
 func (p *Port) ScheduleRemoteArrival(pkt *Packet, at simtime.Time, key uint64) {
+	p.flightPush(flightRec{pkt: pkt, at: at, key: key})
 	p.net.Q.CallAtSeq(at, key, p.remoteArriveFn, pkt)
 }
 
@@ -526,6 +614,7 @@ func (p *Port) ScheduleRemoteArrival(pkt *Packet, at simtime.Time, key uint64) {
 // though the attributed end differs.
 func (p *Port) remoteArrive(arg any) {
 	pkt := arg.(*Packet)
+	p.flightPop()
 	if p.down {
 		p.blackhole(pkt)
 		return

@@ -114,23 +114,31 @@ func RunHybridCore(o HybridOptions) HybridResult {
 	eng := hybrid.New(hybrid.DefaultConfig(), hybNet.Q, hybNet.Tracer)
 	mesh := hybrid.ForFabric(eng, hybFab)
 	forEachSender(o, hybFab, func(src, dst *netsim.Host) {
+		// One closure pair per sender, shared across renewals: the callbacks
+		// recover the renewal's flow id from f.ID instead of capturing it, so
+		// the steady-state loop performs zero allocations per renewal (the
+		// engine recycles Flow objects and path slices; pinned by
+		// TestHybridSteadyStateAllocs). Only a demotion — rare by design —
+		// allocates, for the packet transports it hands off to.
 		var loop func()
+		startPacket := func(f *hybrid.Flow, remaining int64) {
+			if f.AnalyticPayload()+remaining != o.FlowSize {
+				panic(fmt.Sprintf("perf: conservation violated at demotion: %d + %d != %d",
+					f.AnalyticPayload(), remaining, o.FlowSize))
+			}
+			id := netsim.FlowID(f.ID)
+			dcqcn.StartReceiver(id, src.ID(), dst, remaining, params, func(*dcqcn.Receiver) {
+				eng.PacketDone(f)
+				loop()
+			})
+			dcqcn.StartSender(hybNet, id, src, dst.ID(), remaining, params)
+		}
+		onDone := func(*hybrid.Flow, simtime.Time) { loop() }
 		loop = func() {
 			id := hybNet.NextFlowID()
 			eng.StartFlow(mesh.Path(id, src, dst),
 				hybrid.FlowOpts{ID: uint64(id), Size: o.FlowSize, Prio: params.Prio, Eligible: true},
-				func(f *hybrid.Flow, remaining int64) {
-					if f.AnalyticPayload()+remaining != o.FlowSize {
-						panic(fmt.Sprintf("perf: conservation violated at demotion: %d + %d != %d",
-							f.AnalyticPayload(), remaining, o.FlowSize))
-					}
-					dcqcn.StartReceiver(id, src.ID(), dst, remaining, params, func(*dcqcn.Receiver) {
-						eng.PacketDone(f)
-						loop()
-					})
-					dcqcn.StartSender(hybNet, id, src, dst.ID(), remaining, params)
-				},
-				func(*hybrid.Flow, simtime.Time) { loop() })
+				startPacket, onDone)
 		}
 		loop()
 	})

@@ -3,7 +3,11 @@ package perf
 import (
 	"testing"
 
+	"github.com/accnet/acc/internal/dcqcn"
+	"github.com/accnet/acc/internal/hybrid"
+	"github.com/accnet/acc/internal/netsim"
 	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/topo"
 )
 
 // TestHybridCoreSpeedup runs the hybrid benchmark on a reduced fabric and
@@ -43,5 +47,64 @@ func TestHybridCoreSpeedup(t *testing.T) {
 	}
 	if r.Hosts != 48 || r.Senders != 24 {
 		t.Fatalf("geometry: %d hosts, %d senders", r.Hosts, r.Senders)
+	}
+}
+
+// TestHybridSteadyStateAllocs pins the hybrid fast path's allocation
+// regression fixed in this revision: renewals used to allocate a Flow, a
+// path slice, and a fresh closure pair each (≈0.098 allocs/event in
+// BENCH_hybrid.json). With the engine recycling flows and path slices and
+// the bench hoisting one callback pair per sender, a steady-state window
+// of pure analytic renewals performs ~0.7 amortized allocations (event
+// calendar and pool growth), not one per renewal. Demotions are disabled
+// (they legitimately allocate the packet transports they hand off to), so
+// the measurand is exactly the renewal loop: ~29 renewals per window, so
+// a per-renewal regression reads >=24 allocs/window against a budget of 2.
+func TestHybridSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	cfg := topo.DefaultConfig()
+	params := dcqcn.DefaultParams(cfg.HostBW)
+	o := HybridOptions{
+		Seed: 1, Leaves: 6, HostsPerLeaf: 8, Spines: 4,
+		SendersPerLeaf: 4, FlowSize: simtime.MB,
+	}
+	net := netsim.New(o.Seed)
+	fab := topo.LeafSpine(net, o.Leaves, o.HostsPerLeaf, o.Spines, cfg)
+	hcfg := hybrid.DefaultConfig()
+	hcfg.DemoteUtil = 1e9 // keep every flow analytic
+	hcfg.QueueFrac = 1e9
+	eng := hybrid.New(hcfg, net.Q, net.Tracer)
+	mesh := hybrid.ForFabric(eng, fab)
+	forEachSender(o, fab, func(src, dst *netsim.Host) {
+		// The exact hoisted renewal loop RunHybridCore runs.
+		var loop func()
+		startPacket := func(*hybrid.Flow, int64) { panic("perf: demotion in analytic-only alloc test") }
+		onDone := func(*hybrid.Flow, simtime.Time) { loop() }
+		loop = func() {
+			id := net.NextFlowID()
+			eng.StartFlow(mesh.Path(id, src, dst),
+				hybrid.FlowOpts{ID: uint64(id), Size: o.FlowSize, Prio: params.Prio, Eligible: true},
+				startPacket, onDone)
+		}
+		loop()
+	})
+	eng.StartTicker()
+
+	// Let pools, slice capacities, and the event calendar settle over a few
+	// full renewal generations, then demand zero allocations per window.
+	end := simtime.Time(2 * simtime.Millisecond)
+	net.Q.RunBefore(end)
+	window := 400 * simtime.Microsecond
+	avg := testing.AllocsPerRun(20, func() {
+		end = end.Add(window)
+		net.Q.RunBefore(end)
+	})
+	if avg > 2 {
+		t.Fatalf("hybrid renewal loop allocates %.2f allocs per %v window (want ~1 amortized); the fast path is allocating per renewal again", avg, window)
+	}
+	if eng.Stats.Demotions != 0 {
+		t.Fatalf("test misconfigured: %d demotions occurred, window is not purely analytic", eng.Stats.Demotions)
 	}
 }

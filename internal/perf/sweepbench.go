@@ -1,0 +1,118 @@
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/snap"
+	"github.com/accnet/acc/internal/sweep"
+)
+
+// SweepOptions configure the warm-vs-cold sweep benchmark: one matrix,
+// executed once by the cold executor (every branch re-simulates the shared
+// warmup) and once by the warm executor (one warmup, K forks). Parallel is
+// handed to both modes equally, so the speedup isolates the warm-start
+// effect rather than concurrency.
+type SweepOptions struct {
+	Matrix   sweep.Matrix
+	Parallel int
+}
+
+// DefaultSweepOptions returns the warmup-dominated matrix the acceptance
+// criterion is stated over: a congested sharded hybrid fabric run to 1 ms,
+// branching 16 WRED variants at 900 us — so a cold sweep pays the 900 us
+// warmup 16 times while the warm sweep pays it once and forks.
+func DefaultSweepOptions(branches int) SweepOptions {
+	if branches <= 0 {
+		branches = 16
+	}
+	return SweepOptions{
+		Matrix: sweep.Matrix{
+			Base: snap.Scenario{
+				NLeaf: 6, HostsPerLeaf: 4, NSpine: 3, Shards: 4,
+				Seed:  1,
+				Flows: 192, MaxBytes: 128 * simtime.KB, Spread: 800 * simtime.Microsecond, MixTCP: true,
+				Horizon:  simtime.Time(simtime.Millisecond),
+				Fidelity: "hybrid",
+			},
+			WarmPoint: simtime.Time(900 * simtime.Microsecond),
+			Branches:  sweep.WREDLadder(branches),
+		},
+		Parallel: runtime.GOMAXPROCS(0),
+	}
+}
+
+// SweepModeResult is one executor mode's wall-clock surface.
+type SweepModeResult struct {
+	WallSeconds     float64 `json:"wall_seconds"`
+	ScenariosPerSec float64 `json:"scenarios_per_sec"`
+}
+
+// SweepResult records the warm-vs-cold comparison. Identical is always
+// true in a returned result — RunSweep fails instead of reporting a
+// speedup over wrong answers.
+type SweepResult struct {
+	Branches    int             `json:"branches"`
+	Shards      int             `json:"shards"`
+	Fidelity    string          `json:"fidelity"`
+	WarmPointUs float64         `json:"warm_point_usec"`
+	HorizonUs   float64         `json:"horizon_usec"`
+	Parallel    int             `json:"parallel"`
+	MaxProcs    int             `json:"maxprocs"`
+	Cold        SweepModeResult `json:"cold"`
+	Warm        SweepModeResult `json:"warm"`
+	Speedup     float64         `json:"speedup"`
+	Identical   bool            `json:"identical"`
+	BranchCSV   string          `json:"-"`
+}
+
+// RunSweep executes the matrix cold then warm, verifies the two modes'
+// per-branch outcomes are identical (returning an error otherwise — a
+// fast wrong sweep is worthless), and reports scenarios/sec for each.
+func RunSweep(o SweepOptions) (SweepResult, error) {
+	m := o.Matrix
+	opts := sweep.Options{Parallel: o.Parallel}
+	n := len(m.Branches)
+
+	start := time.Now()
+	cold, err := sweep.RunCold(m, opts)
+	if err != nil {
+		return SweepResult{}, fmt.Errorf("perf: cold sweep: %w", err)
+	}
+	coldWall := time.Since(start).Seconds()
+
+	start = time.Now()
+	warm, err := sweep.RunWarm(m, opts)
+	if err != nil {
+		return SweepResult{}, fmt.Errorf("perf: warm sweep: %w", err)
+	}
+	warmWall := time.Since(start).Seconds()
+
+	if ok, who := sweep.Equal(warm, cold); !ok {
+		return SweepResult{}, fmt.Errorf("perf: warm sweep diverged from cold at branch %s", who)
+	}
+
+	res := SweepResult{
+		Branches:    n,
+		Shards:      m.Base.Shards,
+		Fidelity:    m.Base.Fidelity,
+		WarmPointUs: float64(m.WarmPoint) / float64(simtime.Microsecond),
+		HorizonUs:   float64(m.Base.Horizon) / float64(simtime.Microsecond),
+		Parallel:    o.Parallel,
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		Cold:        SweepModeResult{WallSeconds: coldWall},
+		Warm:        SweepModeResult{WallSeconds: warmWall},
+		Identical:   true,
+		BranchCSV:   warm.CSV(),
+	}
+	if coldWall > 0 {
+		res.Cold.ScenariosPerSec = float64(n) / coldWall
+	}
+	if warmWall > 0 {
+		res.Warm.ScenariosPerSec = float64(n) / warmWall
+		res.Speedup = coldWall / warmWall
+	}
+	return res, nil
+}

@@ -1,0 +1,52 @@
+package perf
+
+import (
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/snap"
+	"github.com/accnet/acc/internal/sweep"
+)
+
+// TestRunSweep runs a reduced warmup-dominated matrix and checks the
+// benchmark's invariants: both modes agree (RunSweep errors otherwise)
+// and the warm executor beats the cold one outright even at test scale.
+// The full 16-branch acceptance configuration runs via accbench -sweep.
+func TestRunSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	o := SweepOptions{
+		Matrix: sweep.Matrix{
+			Base: snap.Scenario{
+				NLeaf: 4, HostsPerLeaf: 3, NSpine: 2, Shards: 4,
+				Seed:  1,
+				Flows: 64, MaxBytes: 96 * simtime.KB, Spread: 500 * simtime.Microsecond, MixTCP: true,
+				Horizon:  simtime.Time(600 * simtime.Microsecond),
+				Fidelity: "hybrid",
+			},
+			WarmPoint: simtime.Time(540 * simtime.Microsecond),
+			Branches:  sweep.WREDLadder(8),
+		},
+		Parallel: 2,
+	}
+	r, err := RunSweep(o)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if !r.Identical {
+		t.Fatal("result not marked identical")
+	}
+	if r.Branches != 8 || r.Shards != 4 || r.Fidelity != "hybrid" {
+		t.Fatalf("result metadata: %+v", r)
+	}
+	if r.Warm.ScenariosPerSec <= 0 || r.Cold.ScenariosPerSec <= 0 {
+		t.Fatalf("missing throughput: warm %v cold %v", r.Warm, r.Cold)
+	}
+	if r.Speedup <= 1 {
+		t.Fatalf("warm sweep speedup %.2f; warm start should win a warmup-dominated matrix outright", r.Speedup)
+	}
+	if r.BranchCSV == "" {
+		t.Fatal("no branch CSV recorded")
+	}
+}

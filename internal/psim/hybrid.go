@@ -21,6 +21,39 @@ import (
 	"github.com/accnet/acc/internal/tcp"
 )
 
+// HybridState is the retained bookkeeping of one hybrid-fidelity plan
+// instantiation: which plan specs have not started yet, which hybrid flows
+// are live at packet fidelity, and which of those completed mid-window.
+// It lives on Applied.Hybrid so snapshots can capture it — it is exactly
+// the state that used to hide in ApplyHybrid's closures.
+type HybridState struct {
+	// Eng is the hybrid fast-forward engine driving this instantiation.
+	Eng *hybrid.Engine
+
+	e    *Engine
+	mesh *hybrid.Mesh
+	p    *Plan
+	res  *Applied
+
+	// hflows[i] is flow i's hybrid registration while it runs at packet
+	// fidelity — held from the demotion that started the transport until
+	// the barrier that drains its completion into Eng.PacketDone.
+	hflows []*hybrid.Flow
+	// packetDone[i] marks a packet-mode completion observed mid-window.
+	// Completions fire on the shard that owns the receiver while other
+	// shards are still running — but PacketDone mutates link state shared
+	// across shards (demand reservations, packet counts). So completion
+	// callbacks only mark a per-flow slot (disjoint indices, race-free like
+	// res.End), and the reservations are released at the next barrier with
+	// the shards quiescent. The decrements commute, so batching them at the
+	// barrier leaves every Tick-time observable (utilization, promotion
+	// hysteresis) exactly as the synchronous release would have.
+	packetDone []bool
+	// pending holds plan indices not yet started, in plan order; each
+	// barrier starts every spec that has come due, preserving that order.
+	pending []int
+}
+
 // ApplyHybrid instantiates the plan with hybrid fidelity: DCQCN flows
 // register analytic-eligible and fast-forward in closed form until a trigger
 // demotes them into the real transport with the exact remaining bytes; TCP
@@ -37,7 +70,7 @@ import (
 //
 // Call after Build and before Run; returns the Applied results and the
 // hybrid engine for stats/assertions. Faults are scheduled exactly as in
-// Apply.
+// Apply, with their event handles retained for snapshot restore.
 func (e *Engine) ApplyHybrid(p *Plan, cfg hybrid.Config) (*Applied, *hybrid.Engine) {
 	eng := hybrid.NewBarrier(cfg, e.Now, e.Shards[0].Net.Tracer)
 	mesh := hybrid.ForTables(eng, e.HostUp, e.LeafDown, e.LeafUp, e.SpineDown)
@@ -51,96 +84,27 @@ func (e *Engine) ApplyHybrid(p *Plan, cfg hybrid.Config) (*Applied, *hybrid.Engi
 		TCPRecv:   make([]*tcp.Receiver, n),
 		End:       make([]simtime.Time, n),
 	}
-
-	// Packet-mode completions fire on the shard that owns the receiver,
-	// mid-window, while other shards are still running — but PacketDone
-	// mutates link state shared across shards (demand reservations, packet
-	// counts). So completion callbacks only mark a per-flow slot (disjoint
-	// indices, race-free like res.End), and the reservations are released at
-	// the next barrier with the shards quiescent. The decrements commute, so
-	// batching them at the barrier leaves every Tick-time observable
-	// (utilization, promotion hysteresis) exactly as the synchronous release
-	// would have.
-	hflows := make([]*hybrid.Flow, n)
-	packetDone := make([]bool, n)
-	drainDone := func() {
-		for i, f := range hflows {
-			if packetDone[i] && f != nil {
-				packetDone[i] = false
-				hflows[i] = nil
-				eng.PacketDone(f)
-			}
-		}
+	h := &HybridState{
+		Eng:        eng,
+		e:          e,
+		mesh:       mesh,
+		p:          p,
+		res:        res,
+		hflows:     make([]*hybrid.Flow, n),
+		packetDone: make([]bool, n),
+		pending:    make([]int, 0, n),
 	}
+	res.Hybrid = h
 
-	start := func(i int) {
-		fs := p.Flows[i]
-		if p.OnStart != nil {
-			// e.Now() is the admission instant: the current barrier inside
-			// OnBarrier hooks, the epoch for specs due at apply time. That is
-			// the time a recorded trace must carry for the flow, because
-			// replaying it re-quantizes to the same barrier (see trace.go).
-			p.OnStart(i, e.Now())
-		}
-		id := netsim.FlowID(i + 1)
-		src, dst := e.Hosts[fs.Src.Leaf][fs.Src.Host], e.Hosts[fs.Dst.Leaf][fs.Dst.Host]
-		path := mesh.Path(id, src, dst)
-		switch fs.Transport {
-		case TransportDCQCN:
-			eng.StartFlow(path,
-				hybrid.FlowOpts{ID: uint64(id), Size: fs.Size, Prio: p.DCQCN.Prio, Eligible: true},
-				func(f *hybrid.Flow, remaining int64) {
-					// Receiver first, then sender — applyPlan's fixed order.
-					hflows[i] = f
-					res.DCQCNRecv[i] = dcqcn.StartReceiver(id, src.ID(), dst, remaining, p.DCQCN, func(r *dcqcn.Receiver) {
-						res.End[i] = r.End
-						packetDone[i] = true
-					})
-					res.DCQCNSend[i] = dcqcn.StartSender(src.Net(), id, src, dst.ID(), remaining, p.DCQCN)
-				},
-				func(f *hybrid.Flow, end simtime.Time) { res.End[i] = end })
-		case TransportTCP:
-			eng.StartFlow(path,
-				hybrid.FlowOpts{ID: uint64(id), Size: fs.Size, Prio: p.TCP.Prio},
-				func(f *hybrid.Flow, remaining int64) {
-					hflows[i] = f
-					res.TCPRecv[i] = tcp.StartReceiver(id, src.ID(), dst, remaining, p.TCP, func(r *tcp.Receiver) {
-						res.End[i] = r.End
-						packetDone[i] = true
-					})
-					res.TCPSend[i] = tcp.StartSender(src.Net(), id, src, dst.ID(), remaining, p.TCP)
-				},
-				nil)
-		}
-	}
-
-	// pending holds plan indices not yet started, in plan order; each barrier
-	// starts every spec that has come due, preserving that order.
-	pending := make([]int, 0, n)
 	now := e.Now()
 	for i, fs := range p.Flows {
 		if fs.Start <= now {
-			start(i)
+			h.start(i)
 		} else {
-			pending = append(pending, i)
+			h.pending = append(h.pending, i)
 		}
 	}
-	e.OnBarrier(func(b simtime.Time) {
-		// Release the window's packet-mode completions, then advance the
-		// engine: completions past their End and trigger checks see the
-		// world before this barrier's admissions.
-		drainDone()
-		eng.Tick(b)
-		kept := pending[:0]
-		for _, i := range pending {
-			if p.Flows[i].Start <= b {
-				start(i)
-			} else {
-				kept = append(kept, i)
-			}
-		}
-		pending = kept
-	})
+	e.OnBarrier(h.barrier)
 
 	for _, fe := range p.Faults {
 		var aEnd, bEnd *netsim.Port
@@ -153,8 +117,92 @@ func (e *Engine) ApplyHybrid(p *Plan, cfg hybrid.Config) (*Applied, *hybrid.Engi
 			aEnd, bEnd = e.LeafUp[fe.Link.A][fe.Link.B], e.SpineDown[fe.Link.B][fe.Link.A]
 		}
 		down := fe.Down
-		aEnd.Net().Q.At(fe.At, func() { aEnd.SetEndDown(down) })
-		bEnd.Net().Q.At(fe.At, func() { bEnd.SetEndDown(down) })
+		res.evs = append(res.evs, aEnd.Net().Q.At(fe.At, func() { aEnd.SetEndDown(down) }))
+		res.evs = append(res.evs, bEnd.Net().Q.At(fe.At, func() { bEnd.SetEndDown(down) }))
 	}
 	return res, eng
+}
+
+// bind returns flow i's packet-transition and analytic-completion
+// callbacks. ApplyHybrid admissions and snapshot restore use the same
+// binding, so a restored flow demotes into exactly the transports a
+// continuous run would have started.
+func (h *HybridState) bind(i int) (startPacket func(*hybrid.Flow, int64), onDone func(*hybrid.Flow, simtime.Time)) {
+	fs := h.p.Flows[i]
+	id := netsim.FlowID(i + 1)
+	src, dst := h.e.Hosts[fs.Src.Leaf][fs.Src.Host], h.e.Hosts[fs.Dst.Leaf][fs.Dst.Host]
+	switch fs.Transport {
+	case TransportTCP:
+		return func(f *hybrid.Flow, remaining int64) {
+			h.hflows[i] = f
+			h.res.TCPRecv[i] = tcp.StartReceiver(id, src.ID(), dst, remaining, h.p.TCP, func(r *tcp.Receiver) {
+				h.res.End[i] = r.End
+				h.packetDone[i] = true
+			})
+			h.res.TCPSend[i] = tcp.StartSender(src.Net(), id, src, dst.ID(), remaining, h.p.TCP)
+		}, nil
+	default: // TransportDCQCN
+		return func(f *hybrid.Flow, remaining int64) {
+			// Receiver first, then sender — applyPlan's fixed order.
+			h.hflows[i] = f
+			h.res.DCQCNRecv[i] = dcqcn.StartReceiver(id, src.ID(), dst, remaining, h.p.DCQCN, func(r *dcqcn.Receiver) {
+				h.res.End[i] = r.End
+				h.packetDone[i] = true
+			})
+			h.res.DCQCNSend[i] = dcqcn.StartSender(src.Net(), id, src, dst.ID(), remaining, h.p.DCQCN)
+		}, func(f *hybrid.Flow, end simtime.Time) { h.res.End[i] = end }
+	}
+}
+
+// start admits plan flow i to the hybrid engine at the current barrier.
+func (h *HybridState) start(i int) {
+	fs := h.p.Flows[i]
+	if h.p.OnStart != nil {
+		// e.Now() is the admission instant: the current barrier inside
+		// OnBarrier hooks, the epoch for specs due at apply time. That is
+		// the time a recorded trace must carry for the flow, because
+		// replaying it re-quantizes to the same barrier (see trace.go).
+		h.p.OnStart(i, h.e.Now())
+	}
+	id := netsim.FlowID(i + 1)
+	src, dst := h.e.Hosts[fs.Src.Leaf][fs.Src.Host], h.e.Hosts[fs.Dst.Leaf][fs.Dst.Host]
+	startPacket, onDone := h.bind(i)
+	opts := hybrid.FlowOpts{ID: uint64(id), Size: fs.Size}
+	switch fs.Transport {
+	case TransportTCP:
+		opts.Prio = h.p.TCP.Prio
+	default:
+		opts.Prio, opts.Eligible = h.p.DCQCN.Prio, true
+	}
+	h.Eng.StartFlow(h.mesh.Path(id, src, dst), opts, startPacket, onDone)
+}
+
+// drainDone releases the window's packet-mode completions with the shards
+// quiescent (see HybridState.packetDone).
+func (h *HybridState) drainDone() {
+	for i, f := range h.hflows {
+		if h.packetDone[i] && f != nil {
+			h.packetDone[i] = false
+			h.hflows[i] = nil
+			h.Eng.PacketDone(f)
+		}
+	}
+}
+
+// barrier is the per-window hook: release completions, then advance the
+// engine — completions past their End and trigger checks see the world
+// before this barrier's admissions — then start every spec that has come
+// due.
+func (h *HybridState) barrier(b simtime.Time) {
+	h.drainDone()
+	h.Eng.Tick(b)
+	kept := h.pending[:0]
+	for _, i := range h.pending {
+		if h.p.Flows[i].Start <= b {
+			h.start(i)
+		} else {
+			kept = append(kept, i)
+		}
+	}
+	h.pending = kept
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"github.com/accnet/acc/internal/dcqcn"
+	"github.com/accnet/acc/internal/eventq"
 	"github.com/accnet/acc/internal/faults"
 	"github.com/accnet/acc/internal/netsim"
 	"github.com/accnet/acc/internal/simtime"
@@ -154,6 +155,29 @@ type Applied struct {
 	// End[i] is the receiver completion time of flow i (zero while
 	// incomplete). The bit-identity contract compares these across layouts.
 	End []simtime.Time
+
+	// Hybrid is the hybrid-fidelity bookkeeping when the plan was applied
+	// via ApplyHybrid; nil for pure packet instantiations.
+	Hybrid *HybridState
+
+	// evs holds every plan-scheduled event handle (flow starts in plan
+	// order — receiver then sender — followed by fault ends). Snapshot
+	// restore rebuilds the world (re-creating these handles with their
+	// original (at, seq) because construction order is deterministic),
+	// clears the queues, and re-inserts the still-pending ones via
+	// RestorePending.
+	evs []*eventq.Event
+}
+
+// RestorePending re-inserts plan events that were still pending at the
+// restored clock — those scheduled at or after the snapshot barrier
+// (RunBefore fires everything strictly before it).
+func (a *Applied) RestorePending() {
+	for _, ev := range a.evs {
+		if q := ev.Owner(); ev.At() >= q.Now() {
+			q.RestoreEvent(ev)
+		}
+	}
 }
 
 // FCT returns flow i's completion time, or (0, false) while incomplete.
@@ -198,36 +222,36 @@ func applyPlan(p *Plan, host func(HostRef) *netsim.Host, link func(LinkRef) (aEn
 		// and sharded schedules aligned.
 		switch fs.Transport {
 		case TransportDCQCN:
-			dst.Net().Q.At(fs.Start, func() {
+			res.evs = append(res.evs, dst.Net().Q.At(fs.Start, func() {
 				res.DCQCNRecv[i] = dcqcn.StartReceiver(id, src.ID(), dst, fs.Size, p.DCQCN, func(r *dcqcn.Receiver) {
 					res.End[i] = r.End
 				})
-			})
-			src.Net().Q.At(fs.Start, func() {
+			}))
+			res.evs = append(res.evs, src.Net().Q.At(fs.Start, func() {
 				if p.OnStart != nil {
 					p.OnStart(i, src.Net().Now())
 				}
 				res.DCQCNSend[i] = dcqcn.StartSender(src.Net(), id, src, dst.ID(), fs.Size, p.DCQCN)
-			})
+			}))
 		case TransportTCP:
-			dst.Net().Q.At(fs.Start, func() {
+			res.evs = append(res.evs, dst.Net().Q.At(fs.Start, func() {
 				res.TCPRecv[i] = tcp.StartReceiver(id, src.ID(), dst, fs.Size, p.TCP, func(r *tcp.Receiver) {
 					res.End[i] = r.End
 				})
-			})
-			src.Net().Q.At(fs.Start, func() {
+			}))
+			res.evs = append(res.evs, src.Net().Q.At(fs.Start, func() {
 				if p.OnStart != nil {
 					p.OnStart(i, src.Net().Now())
 				}
 				res.TCPSend[i] = tcp.StartSender(src.Net(), id, src, dst.ID(), fs.Size, p.TCP)
-			})
+			}))
 		}
 	}
 	for _, fe := range p.Faults {
 		aEnd, bEnd := link(fe.Link)
 		down := fe.Down
-		aEnd.Net().Q.At(fe.At, func() { aEnd.SetEndDown(down) })
-		bEnd.Net().Q.At(fe.At, func() { bEnd.SetEndDown(down) })
+		res.evs = append(res.evs, aEnd.Net().Q.At(fe.At, func() { aEnd.SetEndDown(down) }))
+		res.evs = append(res.evs, bEnd.Net().Q.At(fe.At, func() { bEnd.SetEndDown(down) }))
 	}
 	return res
 }

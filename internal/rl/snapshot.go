@@ -1,0 +1,168 @@
+package rl
+
+import (
+	"github.com/accnet/acc/internal/snap/codec"
+)
+
+// Snapshot support: unlike the JSON model files (weights only, for
+// deployment), snapshots must resume training bit-identically, so they
+// carry the full optimizer state (Adam first/second moments and step
+// count), the exploration schedule, and the replay memory contents.
+
+// SaveState writes the network's weights and complete Adam state.
+func (m *MLP) SaveState(w *codec.Writer) {
+	w.Tag("mlp")
+	w.Int(len(m.Sizes))
+	for _, s := range m.Sizes {
+		w.Int(s)
+	}
+	save3(w, m.W)
+	save2(w, m.B)
+	save3(w, m.mW)
+	save3(w, m.vW)
+	save2(w, m.mB)
+	save2(w, m.vB)
+	w.Int(m.adamT)
+}
+
+// RestoreMLP rebuilds a network saved with SaveState, including optimizer
+// state, with fresh scratch buffers.
+func RestoreMLP(r *codec.Reader) *MLP {
+	r.Expect("mlp")
+	n := r.Int()
+	if r.Err() != nil || n < 2 || n > 64 {
+		r.Fail("mlp layer count %d out of range", n)
+		return nil
+	}
+	m := &MLP{Sizes: make([]int, n)}
+	for i := range m.Sizes {
+		m.Sizes[i] = r.Int()
+	}
+	m.W = load3(r)
+	m.B = load2(r)
+	m.mW = load3(r)
+	m.vW = load3(r)
+	m.mB = load2(r)
+	m.vB = load2(r)
+	m.adamT = r.Int()
+	if r.Err() != nil {
+		return nil
+	}
+	m.initScratch()
+	return m
+}
+
+func save3(w *codec.Writer, x [][][]float64) {
+	w.Int(len(x))
+	for _, l := range x {
+		save2(w, l)
+	}
+}
+
+func save2(w *codec.Writer, x [][]float64) {
+	w.Int(len(x))
+	for _, row := range x {
+		w.F64s(row)
+	}
+}
+
+func load3(r *codec.Reader) [][][]float64 {
+	n := r.Int()
+	if r.Err() != nil || n < 0 || n > 1<<20 {
+		r.Fail("tensor dim %d out of range", n)
+		return nil
+	}
+	out := make([][][]float64, n)
+	for i := range out {
+		out[i] = load2(r)
+	}
+	return out
+}
+
+func load2(r *codec.Reader) [][]float64 {
+	n := r.Int()
+	if r.Err() != nil || n < 0 || n > 1<<20 {
+		r.Fail("tensor dim %d out of range", n)
+		return nil
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = r.F64s()
+	}
+	return out
+}
+
+func saveTransition(w *codec.Writer, t Transition) {
+	w.F64s(t.State)
+	w.Int(t.Action)
+	w.F64(t.Reward)
+	w.F64s(t.Next)
+	w.Bool(t.Terminal)
+}
+
+func loadTransition(r *codec.Reader) Transition {
+	var t Transition
+	t.State = r.F64s()
+	t.Action = r.Int()
+	t.Reward = r.F64()
+	t.Next = r.F64s()
+	t.Terminal = r.Bool()
+	return t
+}
+
+// SaveState writes the replay memory's full contents and ring position.
+func (rp *Replay) SaveState(w *codec.Writer) {
+	w.Tag("replay")
+	w.Int(rp.cap)
+	w.Int(rp.next)
+	w.Bool(rp.full)
+	w.Int(len(rp.buf))
+	for _, t := range rp.buf {
+		saveTransition(w, t)
+	}
+}
+
+// RestoreState replaces rp's contents with a state saved by SaveState.
+func (rp *Replay) RestoreState(r *codec.Reader) {
+	r.Expect("replay")
+	rp.cap = r.Int()
+	rp.next = r.Int()
+	rp.full = r.Bool()
+	n := r.Int()
+	if r.Err() != nil || n < 0 || n > rp.cap {
+		r.Fail("replay length %d exceeds capacity %d", n, rp.cap)
+		return
+	}
+	rp.buf = make([]Transition, 0, rp.cap)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		rp.buf = append(rp.buf, loadTransition(r))
+	}
+}
+
+// SaveState writes the agent's networks, optimizer state, exploration
+// schedule, and replay memory. Cfg is construction-time configuration and
+// is not serialized — the restoring side rebuilds the agent from the same
+// scenario and then overlays this state.
+func (a *Agent) SaveState(w *codec.Writer) {
+	w.Tag("agent")
+	a.Eval.SaveState(w)
+	a.Target.SaveState(w)
+	a.Memory.SaveState(w)
+	w.F64(a.eps)
+	w.Int(a.trainSteps)
+}
+
+// RestoreState overlays a state saved by SaveState onto a freshly
+// constructed agent (same Cfg).
+func (a *Agent) RestoreState(r *codec.Reader) {
+	r.Expect("agent")
+	if ev := RestoreMLP(r); ev != nil {
+		a.Eval = ev
+	}
+	if tg := RestoreMLP(r); tg != nil {
+		a.Target = tg
+	}
+	a.Memory.RestoreState(r)
+	a.eps = r.F64()
+	a.trainSteps = r.Int()
+}

@@ -1,0 +1,274 @@
+// Package codec is the versioned binary encoding underneath snapshot
+// files (internal/snap): unsigned LEB128 varints, zigzag signed varints,
+// IEEE-754 float64 bits, length-prefixed byte strings, and named section
+// tags, wrapped in a magic/version header and an IEEE CRC-32 trailer.
+//
+// The codec is deliberately dependency-free so every engine package
+// (eventq, netsim, dcqcn, tcp, rl, acc, stats, hybrid, psim) can expose
+// SaveState/RestoreState methods over it without import cycles.
+//
+// Error handling is sticky on the read side: the first malformed field
+// latches Reader.Err and every later accessor returns a zero value, so
+// restore code can decode a whole section and check the error once.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Magic identifies a snapshot byte stream.
+const Magic = "ACCSNAP\x01"
+
+// Version is the current snapshot format version. Readers refuse streams
+// with a newer major version; the version is available to restore code so
+// future minor revisions can keep decoding old streams.
+const Version uint16 = 1
+
+// Writer accumulates a snapshot byte stream.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter starts a stream with the magic and format version.
+func NewWriter() *Writer {
+	w := &Writer{buf: make([]byte, 0, 4096)}
+	w.buf = append(w.buf, Magic...)
+	w.U64(uint64(Version))
+	return w
+}
+
+// Finish appends the CRC-32 trailer and returns the complete stream.
+// The Writer must not be used afterwards.
+func (w *Writer) Finish() []byte {
+	sum := crc32.ChecksumIEEE(w.buf)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum)
+	w.buf = append(w.buf, tail[:]...)
+	return w.buf
+}
+
+// Len returns the number of bytes written so far (header included).
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U64 writes an unsigned varint.
+func (w *Writer) U64(v uint64) {
+	for v >= 0x80 {
+		w.buf = append(w.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	w.buf = append(w.buf, byte(v))
+}
+
+// I64 writes a zigzag-encoded signed varint.
+func (w *Writer) I64(v int64) { w.U64(uint64(v<<1) ^ uint64(v>>63)) }
+
+// Int writes an int as a signed varint.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bool writes a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// F64 writes a float64 as its IEEE-754 bit pattern (exact round trip).
+func (w *Writer) F64(v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	w.buf = append(w.buf, b[:]...)
+}
+
+// Bytes writes a length-prefixed byte string.
+func (w *Writer) Bytes(b []byte) {
+	w.U64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Tag writes a named section marker. Readers consume it with Expect,
+// which turns any encode/decode skew into an immediate, located error
+// instead of silently misaligned fields.
+func (w *Writer) Tag(name string) { w.String(name) }
+
+// F64s writes a length-prefixed []float64.
+func (w *Writer) F64s(xs []float64) {
+	w.U64(uint64(len(xs)))
+	for _, x := range xs {
+		w.F64(x)
+	}
+}
+
+// Reader decodes a snapshot byte stream produced by Writer.
+type Reader struct {
+	buf []byte
+	pos int
+	err error
+
+	// Version is the format version of the stream being decoded.
+	Version uint16
+}
+
+// NewReader validates the magic, version, and CRC-32 trailer of data and
+// returns a reader positioned after the header.
+func NewReader(data []byte) (*Reader, error) {
+	if len(data) < len(Magic)+4 {
+		return nil, fmt.Errorf("snapshot: truncated stream (%d bytes)", len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic (not a snapshot file)")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	want := binary.LittleEndian.Uint32(tail)
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("snapshot: checksum mismatch (file corrupt): got %08x want %08x", got, want)
+	}
+	r := &Reader{buf: body, pos: len(Magic)}
+	v := r.U64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if uint16(v) > Version {
+		return nil, fmt.Errorf("snapshot: format version %d is newer than supported %d", v, Version)
+	}
+	r.Version = uint16(v)
+	return r, nil
+}
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Fail latches a caller-detected restore error (state inconsistency rather
+// than malformed bytes) so it surfaces through the same sticky-error path.
+func (r *Reader) Fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snapshot: "+format, args...)
+	}
+}
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snapshot: "+format+" at offset %d", append(args, r.pos)...)
+	}
+}
+
+// U64 reads an unsigned varint.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	var v uint64
+	var shift uint
+	for {
+		if r.pos >= len(r.buf) {
+			r.fail("truncated varint")
+			return 0
+		}
+		b := r.buf[r.pos]
+		r.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+		shift += 7
+		if shift >= 64 {
+			r.fail("varint overflow")
+			return 0
+		}
+	}
+}
+
+// I64 reads a zigzag-encoded signed varint.
+func (r *Reader) I64() int64 {
+	u := r.U64()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// Int reads an int written with Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos >= len(r.buf) {
+		r.fail("truncated bool")
+		return false
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	if b > 1 {
+		r.fail("invalid bool byte %d", b)
+		return false
+	}
+	return b == 1
+}
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+8 > len(r.buf) {
+		r.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.pos:]))
+	r.pos += 8
+	return v
+}
+
+// Bytes reads a length-prefixed byte string. The returned slice aliases
+// the input buffer; callers that keep it must copy.
+func (r *Reader) Bytes() []byte {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		r.fail("byte string length %d exceeds remaining %d", n, len(r.buf)-r.pos)
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// Expect consumes a section tag and errors unless it matches name.
+func (r *Reader) Expect(name string) {
+	got := r.String()
+	if r.err == nil && got != name {
+		r.fail("section tag mismatch: got %q want %q", got, name)
+	}
+}
+
+// F64s reads a length-prefixed []float64.
+func (r *Reader) F64s() []float64 {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.pos)/8 {
+		r.fail("float64 slice length %d exceeds remaining bytes", n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package snap
+
+// The snapshot stream layout (after the codec's magic/version header):
+//
+//	"snap-world"
+//	  "scenario"     — the Scenario, so Restore rebuilds from the stream alone
+//	  "psim"         — barrier clock + every shard's network (internal/psim)
+//	  hybrid flag    — fidelity cross-check against the scenario
+//	  ["psim-hybrid"]— fast-forward engine + hybrid bookkeeping
+//	  "applied"      — live transports + completion table
+//	  "sampler"      — goodput series
+//	  ACC count, ["acc-system"]... — per-shard deployments, shard order
+//
+// plus the codec's CRC-32 trailer. Restore ordering is load-bearing and
+// documented on Restore.
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/accnet/acc/internal/red"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/snap/codec"
+)
+
+// saveScenario writes the scenario section.
+func saveScenario(w *codec.Writer, sc *Scenario) {
+	w.Tag("scenario")
+	w.Int(sc.NLeaf)
+	w.Int(sc.HostsPerLeaf)
+	w.Int(sc.NSpine)
+	w.Int(sc.Shards)
+	w.I64(sc.Seed)
+	w.Int(sc.Flows)
+	w.I64(sc.MaxBytes)
+	w.I64(int64(sc.Spread))
+	w.Bool(sc.MixTCP)
+	w.Int(sc.FaultLinks)
+	w.I64(int64(sc.MTBF))
+	w.I64(int64(sc.MTTR))
+	w.I64(sc.FaultSeed)
+	w.I64(int64(sc.Horizon))
+	w.String(sc.Fidelity)
+	w.Bool(sc.WRED != nil)
+	if sc.WRED != nil {
+		w.Int(sc.WRED.Kmin)
+		w.Int(sc.WRED.Kmax)
+		w.F64(sc.WRED.Pmax)
+	}
+	w.Bool(sc.ACC)
+	w.I64(int64(sc.SamplePeriod))
+}
+
+// loadScenario reads the scenario section.
+func loadScenario(r *codec.Reader) (Scenario, error) {
+	var sc Scenario
+	r.Expect("scenario")
+	sc.NLeaf = r.Int()
+	sc.HostsPerLeaf = r.Int()
+	sc.NSpine = r.Int()
+	sc.Shards = r.Int()
+	sc.Seed = r.I64()
+	sc.Flows = r.Int()
+	sc.MaxBytes = r.I64()
+	sc.Spread = simtime.Duration(r.I64())
+	sc.MixTCP = r.Bool()
+	sc.FaultLinks = r.Int()
+	sc.MTBF = simtime.Duration(r.I64())
+	sc.MTTR = simtime.Duration(r.I64())
+	sc.FaultSeed = r.I64()
+	sc.Horizon = simtime.Time(r.I64())
+	sc.Fidelity = r.String()
+	if r.Bool() {
+		sc.WRED = &red.Config{Kmin: r.Int(), Kmax: r.Int(), Pmax: r.F64()}
+	}
+	sc.ACC = r.Bool()
+	sc.SamplePeriod = simtime.Duration(r.I64())
+	if err := r.Err(); err != nil {
+		return sc, err
+	}
+	return sc, sc.Validate()
+}
+
+// Snapshot captures the world's complete dynamic state. Call with the
+// engine quiescent: after Run returned, or from a barrier hook. The
+// returned stream is self-contained (it embeds the Scenario) and
+// CRC-protected.
+func (w *World) Snapshot() []byte {
+	enc := codec.NewWriter()
+	enc.Tag("snap-world")
+	saveScenario(enc, &w.Sc)
+	w.E.SaveState(enc)
+	enc.Bool(w.App.Hybrid != nil)
+	if w.App.Hybrid != nil {
+		w.App.Hybrid.SaveState(enc)
+	}
+	w.E.SaveApplied(enc, w.App)
+	w.Smp.SaveState(enc)
+	enc.Int(len(w.ACC))
+	for _, s := range w.ACC {
+		s.SaveState(enc)
+	}
+	return enc.Finish()
+}
+
+// Restore rebuilds the world a snapshot was taken from and overlays the
+// saved state, returning a world that continues bit-identically to the
+// uninterrupted run. The overlay order is load-bearing:
+//
+//  1. Build — reconstructs every object, closure, and routing table; the
+//     hybrid apply path starts due flows synchronously, and ACC arms its
+//     tick timers, exactly as the original construction did.
+//  2. Engine.RestoreState — clears every rebuilt queue, restores clocks,
+//     counters, RNG draw positions, buffers, and in-flight packets.
+//  3. Applied.RestorePending — re-inserts still-pending plan events
+//     (their rebuilt handles carry the original (time, seq) slots).
+//  4. HybridState.RestoreState — overlays the fast-forward engine and
+//     re-binds flow callbacks (hybrid worlds only; before step 5 so
+//     mid-window completion marks land on restored bookkeeping).
+//  5. Engine.RestoreApplied — discards construction-time transports,
+//     rebuilds the live ones, re-parks NIC waiters.
+//  6. Sampler and ACC overlays — series, agents, optimizer state, and
+//     timer re-arming onto the restored queues.
+func Restore(data []byte) (*World, error) {
+	r, err := codec.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	r.Expect("snap-world")
+	sc, err := loadScenario(r)
+	if err != nil {
+		return nil, err
+	}
+	w, err := Build(sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.E.RestoreState(r); err != nil {
+		return nil, err
+	}
+	w.App.RestorePending()
+	if hyb := r.Bool(); hyb != (w.App.Hybrid != nil) {
+		return nil, fmt.Errorf("snap: stream fidelity disagrees with scenario %q", sc.Fidelity)
+	}
+	if w.App.Hybrid != nil {
+		if err := w.App.Hybrid.RestoreState(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.E.RestoreApplied(r, w.App); err != nil {
+		return nil, err
+	}
+	if err := w.Smp.RestoreState(r); err != nil {
+		return nil, err
+	}
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n != len(w.ACC) {
+		return nil, fmt.Errorf("snap: stream has %d ACC deployments, world has %d", n, len(w.ACC))
+	}
+	for _, s := range w.ACC {
+		s.RestoreState(r)
+	}
+	return w, r.Err()
+}
+
+// Fork restores a snapshot and applies a branch variant at the restored
+// instant: the warm-start primitive. A forked branch is bit-identical to
+// a cold run of the same scenario that applied the same variant at the
+// same virtual time.
+func Fork(data []byte, v Variant) (*World, error) {
+	w, err := Restore(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.ApplyVariant(v); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// WriteFile writes a snapshot stream to path.
+func WriteFile(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("snap: %w", err)
+	}
+	return nil
+}
+
+// ReadFile reads a snapshot file and validates its header, CRC trailer,
+// and embedded scenario without building anything — the preflight the
+// CLIs run before committing to a resume.
+func ReadFile(path string) ([]byte, Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, Scenario{}, fmt.Errorf("snap: %w", err)
+	}
+	sc, err := Peek(data)
+	if err != nil {
+		return nil, Scenario{}, fmt.Errorf("snap: %s: %w", path, err)
+	}
+	return data, sc, nil
+}
+
+// Peek decodes just the scenario header of a snapshot stream.
+func Peek(data []byte) (Scenario, error) {
+	r, err := codec.NewReader(data)
+	if err != nil {
+		return Scenario{}, err
+	}
+	r.Expect("snap-world")
+	return loadScenario(r)
+}

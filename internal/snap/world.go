@@ -1,0 +1,286 @@
+// Package snap is the snapshot/fork engine: full-state capture of a
+// running sharded simulation — event calendar, switch buffers and
+// in-flight packets, transport state machines, ACC agents and their
+// optimizer state, RNG streams, samplers — behind a versioned binary
+// codec (internal/snap/codec), plus the warm-start branching that makes
+// parameter sweeps cheap.
+//
+// The restore protocol is rebuild-then-overlay: a snapshot is restored
+// into a world rebuilt by the *same construction code* (Build runs again
+// with the Scenario recorded in the stream), so every closure, routing
+// table, and pre-bound method value exists and is bound to live objects;
+// the overlay then clears the rebuilt event queues, restores counters and
+// per-object dynamic state, re-materializes pending events at their
+// recorded (time, seq) slots, and fast-forwards every RNG stream to its
+// recorded draw count. Because the streams are replayed rather than
+// replaced, restore-then-run is bit-identical to never having
+// snapshotted, and a branch forked from a warm snapshot is bit-identical
+// to a cold run that applied the same variant at the same instant
+// (TestRestoreContinuity, TestForkMatchesColdRun).
+package snap
+
+import (
+	"fmt"
+
+	"github.com/accnet/acc/internal/acc"
+	"github.com/accnet/acc/internal/faults"
+	"github.com/accnet/acc/internal/hybrid"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/obs"
+	"github.com/accnet/acc/internal/psim"
+	"github.com/accnet/acc/internal/red"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/topo"
+)
+
+// Scenario is the complete, self-contained recipe for one world: every
+// input Build consumes. It is serialized into the snapshot stream, so a
+// snapshot file alone is enough to rebuild the world it was taken from —
+// crash-resume needs no side channel.
+type Scenario struct {
+	// Topology: a leaf–spine fabric sharded Shards ways (clamped to
+	// [1, NLeaf] by the partitioner).
+	NLeaf, HostsPerLeaf, NSpine, Shards int
+
+	// Seed drives every RNG stream in the world (per-node streams are
+	// keyed on (Seed, node id); the flow plan draws from Seed+1).
+	Seed int64
+
+	// Workload: Flows random cross-fabric transfers, sizes uniform in
+	// [1 KB, MaxBytes], starts uniform in [0, Spread); every third flow
+	// runs TCP when MixTCP is set.
+	Flows    int
+	MaxBytes int64
+	Spread   simtime.Duration
+	MixTCP   bool
+
+	// Faults: FaultLinks leaf–spine links flap with exponential up/down
+	// times (mean MTBF/MTTR) expanded at plan time from FaultSeed.
+	FaultLinks int
+	MTBF, MTTR simtime.Duration
+	FaultSeed  int64
+
+	// Horizon bounds the run (and the fault expansion).
+	Horizon simtime.Time
+
+	// Fidelity selects the engine: "packet" (or "") for pure
+	// packet-level, "hybrid" for the flow-level fast-forward overlay.
+	Fidelity string
+
+	// WRED, when non-nil, overrides every switch's ECN template at build
+	// time (and scales the hybrid queue trigger to its Kmin).
+	WRED *red.Config
+
+	// ACC deploys one acc.System per shard over that shard's local
+	// switches. Snapshots of ACC worlds are layout-specific either way;
+	// per-shard deployment keeps every tuner on the queue that owns its
+	// switch.
+	ACC bool
+
+	// SamplePeriod is the goodput sampler cadence (0 = 20µs).
+	SamplePeriod simtime.Duration
+}
+
+// Validate reports whether the scenario can be built.
+func (sc *Scenario) Validate() error {
+	if sc.NLeaf < 2 || sc.HostsPerLeaf < 1 || sc.NSpine < 1 {
+		return fmt.Errorf("snap: topology %dx%dx%d needs >=2 leaves, >=1 host/leaf, >=1 spine",
+			sc.NLeaf, sc.HostsPerLeaf, sc.NSpine)
+	}
+	if sc.Horizon <= 0 {
+		return fmt.Errorf("snap: horizon must be positive")
+	}
+	switch sc.Fidelity {
+	case "", "packet", "hybrid":
+	default:
+		return fmt.Errorf("snap: unknown fidelity %q (want 'packet' or 'hybrid')", sc.Fidelity)
+	}
+	if sc.FaultLinks > 0 && (sc.MTBF <= 0 || sc.MTTR <= 0) {
+		return fmt.Errorf("snap: fault links need positive MTBF and MTTR")
+	}
+	if sc.WRED != nil {
+		if err := sc.WRED.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hybridFidelity reports whether the scenario runs the hybrid overlay.
+func (sc *Scenario) hybridFidelity() bool { return sc.Fidelity == "hybrid" }
+
+// World is one live simulation built from a Scenario: the sharded engine,
+// the applied plan, the optional hybrid overlay and ACC deployments, and
+// the goodput sampler. All of it is captured by Snapshot and rebuilt by
+// Restore.
+type World struct {
+	Sc   Scenario
+	E    *psim.Engine
+	Plan *psim.Plan
+	App  *psim.Applied
+	Hyb  *hybrid.Engine // nil at packet fidelity
+	ACC  []*acc.System  // one per shard when Sc.ACC; nil otherwise
+	Smp  *psim.Sampler
+}
+
+// Build constructs a world from the scenario. Construction is a pure
+// function of the scenario: running it twice produces identical worlds
+// (same node ids, same event sequence numbers, same RNG stream
+// positions), which is the property the restore overlay depends on.
+func Build(sc Scenario) (*World, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	tc := topo.DefaultConfig()
+	e := psim.Build(psim.Config{
+		NLeaf: sc.NLeaf, HostsPerLeaf: sc.HostsPerLeaf, NSpine: sc.NSpine,
+		Shards: sc.Shards, Seed: sc.Seed, Topo: tc,
+	})
+	if sc.WRED != nil {
+		for _, sw := range e.Leaves {
+			sw.SetRED(*sc.WRED)
+		}
+		for _, sw := range e.Spines {
+			sw.SetRED(*sc.WRED)
+		}
+	}
+
+	plan := psim.NewPlan(tc.HostBW).
+		RandomFlows(sc.NLeaf, sc.HostsPerLeaf, sc.Flows, sc.MaxBytes, sc.Spread, sc.MixTCP, sc.Seed+1)
+	for k := 0; k < sc.FaultLinks; k++ {
+		plan.Flap(psim.LeafSpineLink(k%sc.NLeaf, k%sc.NSpine), sc.MTBF, sc.MTTR, sc.Horizon, sc.FaultSeed+int64(k))
+	}
+
+	w := &World{Sc: sc, E: e, Plan: plan}
+	if sc.hybridFidelity() {
+		hcfg := hybrid.DefaultConfig()
+		if sc.WRED != nil {
+			hcfg.Kmin = sc.WRED.Kmin
+		}
+		w.App, w.Hyb = e.ApplyHybrid(plan, hcfg)
+	} else {
+		w.App = e.Apply(plan)
+	}
+
+	if sc.ACC {
+		for _, sh := range e.Shards {
+			sws := append(append([]*netsim.Switch{}, sh.Leaves...), sh.Spines...)
+			if len(sws) == 0 {
+				continue
+			}
+			w.ACC = append(w.ACC, acc.NewSystem(sh.Net, sws, nil, acc.DefaultSystemConfig()))
+		}
+	}
+
+	period := sc.SamplePeriod
+	if period <= 0 {
+		period = 20 * simtime.Microsecond
+	}
+	w.Smp = psim.NewSampler(e.HostPorts(), period)
+	e.OnBarrier(w.Smp.OnBarrier)
+	return w, nil
+}
+
+// AttachObs mirrors the engine's drop/mark/fault telemetry into an obs
+// run. Call before Run; safe with a nil run.
+func (w *World) AttachObs(run *obs.Run) { w.E.AttachObs(run) }
+
+// Run advances the world to the given virtual time (a whole number of
+// barrier windows past it, like psim.Engine.Run). After Run returns the
+// engine is quiescent, which is when Snapshot may be called.
+func (w *World) Run(until simtime.Time) { w.E.Run(until) }
+
+// Now returns the last barrier the world has reached.
+func (w *World) Now() simtime.Time { return w.E.Now() }
+
+// Finish folds end-of-run accounting (hybrid fidelity counters) into the
+// obs run. Safe with a nil run.
+func (w *World) Finish(run *obs.Run) {
+	if run != nil && w.Hyb != nil {
+		run.AddFidelity(w.Hyb.Stats)
+	}
+}
+
+// Variant is one branch overlay applied to a restored (or warm) world at
+// the branch instant: the scenario knobs a sweep explores without paying
+// for a fresh warmup.
+type Variant struct {
+	// Name labels the branch in results and artifact file names.
+	Name string
+
+	// WRED, when non-nil, retunes every switch's ECN template at the
+	// branch instant (the static analogue of one ACC action).
+	WRED *red.Config
+
+	// Faults are extra link events injected at or after the branch
+	// instant, on top of the scenario's own fault plan.
+	Faults []psim.FaultEvent
+
+	// Epsilon, when non-nil, overrides every ACC agent's exploration
+	// rate (ACC scenarios only).
+	Epsilon *float64
+}
+
+// linkEnds resolves a LinkRef to its two port ends, exactly as plan
+// application does.
+func (w *World) linkEnds(l psim.LinkRef) (aEnd, bEnd *netsim.Port, err error) {
+	switch l.Role {
+	case faults.HostLeaf:
+		if l.A < 0 || l.A >= len(w.E.HostUp) || l.B < 0 || l.B >= len(w.E.HostUp[l.A]) {
+			return nil, nil, fmt.Errorf("snap: host-leaf link (%d,%d) outside topology", l.A, l.B)
+		}
+		return w.E.HostUp[l.A][l.B], w.E.LeafDown[l.A][l.B], nil
+	case faults.LeafSpine:
+		if l.A < 0 || l.A >= len(w.E.LeafUp) || l.B < 0 || l.B >= len(w.E.LeafUp[l.A]) {
+			return nil, nil, fmt.Errorf("snap: leaf-spine link (%d,%d) outside topology", l.A, l.B)
+		}
+		return w.E.LeafUp[l.A][l.B], w.E.SpineDown[l.B][l.A], nil
+	}
+	return nil, nil, fmt.Errorf("snap: unsupported link role %v", l.Role)
+}
+
+// ApplyVariant overlays a branch variant on the world at the current
+// instant. Apply it at the same virtual time on a warm fork and on a cold
+// run and the two branches stay bit-identical: the restored event-queue
+// counters put the variant's events at the same (time, seq) slots in
+// both.
+func (w *World) ApplyVariant(v Variant) error {
+	now := w.E.Now()
+	if v.WRED != nil {
+		if err := v.WRED.Validate(); err != nil {
+			return err
+		}
+		for _, sw := range w.E.Leaves {
+			sw.SetRED(*v.WRED)
+		}
+		for _, sw := range w.E.Spines {
+			sw.SetRED(*v.WRED)
+		}
+	}
+	for _, fe := range v.Faults {
+		if fe.At < now {
+			return fmt.Errorf("snap: variant %q fault at %v is before the branch instant %v", v.Name, fe.At, now)
+		}
+		aEnd, bEnd, err := w.linkEnds(fe.Link)
+		if err != nil {
+			return err
+		}
+		down := fe.Down
+		aEnd.Net().Q.At(fe.At, func() { aEnd.SetEndDown(down) })
+		bEnd.Net().Q.At(fe.At, func() { bEnd.SetEndDown(down) })
+	}
+	if v.Epsilon != nil {
+		for _, s := range w.ACC {
+			s.SetEpsilon(*v.Epsilon)
+		}
+	}
+	return nil
+}
+
+// Stop halts the world's periodic machinery (ACC tick/exchange loops) so
+// a finished world stops scheduling work.
+func (w *World) Stop() {
+	for _, s := range w.ACC {
+		s.Stop()
+	}
+}

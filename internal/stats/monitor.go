@@ -13,6 +13,10 @@ import (
 // closure. A long-running monitored simulation therefore stays
 // allocation-flat apart from the Series' amortized backing-array growth
 // (which callers can avoid with Series.Reset between windows).
+//
+// Each reschedule records the next tick's (time, seq) slot so a snapshot
+// can re-arm the pooled event at exactly the position it held in the
+// uninterrupted run (see snapshot.go).
 type QueueMonitor struct {
 	Queue  *netsim.EgressQueue
 	Period simtime.Duration
@@ -21,22 +25,34 @@ type QueueMonitor struct {
 	net     *netsim.Network
 	tickFn  func(any)
 	stopped bool
+
+	nextPending bool
+	nextAt      simtime.Time
+	nextSeq     uint64
 }
 
 // MonitorQueue starts sampling q every period until Stop.
 func MonitorQueue(net *netsim.Network, q *netsim.EgressQueue, period simtime.Duration) *QueueMonitor {
 	m := &QueueMonitor{Queue: q, Period: period, net: net}
 	m.tickFn = m.tick
-	m.net.Q.CallAfter(m.Period, m.tickFn, nil)
+	m.arm()
 	return m
 }
 
+func (m *QueueMonitor) arm() {
+	m.nextPending = true
+	m.nextAt = m.net.Now().Add(m.Period)
+	m.nextSeq = m.net.Q.Seq()
+	m.net.Q.CallAfter(m.Period, m.tickFn, nil)
+}
+
 func (m *QueueMonitor) tick(any) {
+	m.nextPending = false
 	if m.stopped {
 		return
 	}
 	m.Series.Add(m.net.Now(), float64(m.Queue.Bytes()))
-	m.net.Q.CallAfter(m.Period, m.tickFn, nil)
+	m.arm()
 }
 
 // Stop ends sampling.
@@ -54,17 +70,29 @@ type ThroughputMeter struct {
 	tickFn  func(any)
 	lastTx  uint64
 	stopped bool
+
+	nextPending bool
+	nextAt      simtime.Time
+	nextSeq     uint64
 }
 
 // MeterPort starts sampling p's egress utilization every period.
 func MeterPort(net *netsim.Network, p *netsim.Port, period simtime.Duration) *ThroughputMeter {
 	m := &ThroughputMeter{Port: p, Period: period, net: net, lastTx: p.TxBytesTotal}
 	m.tickFn = m.tick
-	m.net.Q.CallAfter(m.Period, m.tickFn, nil)
+	m.arm()
 	return m
 }
 
+func (m *ThroughputMeter) arm() {
+	m.nextPending = true
+	m.nextAt = m.net.Now().Add(m.Period)
+	m.nextSeq = m.net.Q.Seq()
+	m.net.Q.CallAfter(m.Period, m.tickFn, nil)
+}
+
 func (m *ThroughputMeter) tick(any) {
+	m.nextPending = false
 	if m.stopped {
 		return
 	}
@@ -72,7 +100,7 @@ func (m *ThroughputMeter) tick(any) {
 	util := m.Port.Utilization(cur-m.lastTx, m.Period)
 	m.lastTx = cur
 	m.Series.Add(m.net.Now(), util)
-	m.net.Q.CallAfter(m.Period, m.tickFn, nil)
+	m.arm()
 }
 
 // Stop ends sampling.

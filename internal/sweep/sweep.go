@@ -1,0 +1,221 @@
+// Package sweep is the warm-start sweep executor: it warms one world up
+// to the branch instant, snapshots it, and forks every scenario variant
+// from the frozen state instead of re-simulating the shared warmup per
+// branch. Because a fork is bit-identical to a cold run that applied the
+// same variant at the same instant (internal/snap's proof obligation),
+// warm mode is a pure throughput optimization — the cold executor exists
+// to prove exactly that, and CI diffs the two modes' CSVs byte-for-byte.
+package sweep
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/accnet/acc/internal/obs"
+	"github.com/accnet/acc/internal/red"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/snap"
+)
+
+// Matrix is one sweep: a base scenario, the instant the branches fork,
+// and the variants explored from it.
+type Matrix struct {
+	Base snap.Scenario
+	// WarmPoint is the branch instant: warm mode snapshots here, cold
+	// mode re-simulates up to here per branch. Must be in (0, Horizon).
+	WarmPoint simtime.Time
+	Branches  []snap.Variant
+}
+
+// Validate reports whether the matrix is runnable.
+func (m *Matrix) Validate() error {
+	if err := m.Base.Validate(); err != nil {
+		return err
+	}
+	if m.WarmPoint <= 0 || m.WarmPoint >= m.Base.Horizon {
+		return fmt.Errorf("sweep: warm point %v outside (0, %v)", m.WarmPoint, m.Base.Horizon)
+	}
+	if len(m.Branches) == 0 {
+		return fmt.Errorf("sweep: no branches")
+	}
+	seen := make(map[string]bool, len(m.Branches))
+	for i, v := range m.Branches {
+		if v.Name == "" {
+			return fmt.Errorf("sweep: branch %d has no name", i)
+		}
+		if seen[v.Name] {
+			return fmt.Errorf("sweep: duplicate branch name %q", v.Name)
+		}
+		seen[v.Name] = true
+	}
+	return nil
+}
+
+// BranchResult is one branch's deterministic outcome plus its obs
+// artifact paths (when an obs dir was given).
+type BranchResult struct {
+	Name     string `json:"name"`
+	Summary  snap.Summary
+	Manifest string `json:"manifest,omitempty"`
+}
+
+// Result is one executor run over a matrix.
+type Result struct {
+	Mode     string // "warm" or "cold"
+	Branches []BranchResult
+}
+
+// Options configure an executor run.
+type Options struct {
+	// Parallel bounds concurrent branch simulations (<=0: run branches
+	// sequentially). Branch worlds are fully independent — each owns its
+	// Networks, RNGs, and result slot — so concurrency cannot reorder
+	// events within a branch.
+	Parallel int
+	// ObsDir, when non-empty, writes one obs manifest per branch
+	// (sweep-<mode>-<name>.*) into the directory.
+	ObsDir string
+}
+
+// runBranch simulates one branch to the horizon: from the warm image
+// when img is non-nil, cold otherwise.
+func runBranch(m *Matrix, v snap.Variant, img []byte, mode string, o Options) (BranchResult, error) {
+	var w *snap.World
+	var err error
+	if img != nil {
+		w, err = snap.Fork(img, v)
+	} else {
+		if w, err = snap.Build(m.Base); err == nil {
+			w.Run(m.WarmPoint)
+			err = w.ApplyVariant(v)
+		}
+	}
+	if err != nil {
+		return BranchResult{}, fmt.Errorf("sweep: branch %q: %w", v.Name, err)
+	}
+	var run *obs.Run
+	if o.ObsDir != "" {
+		run = obs.NewRun(0)
+		w.AttachObs(run)
+	}
+	w.Run(m.Base.Horizon)
+	w.Finish(run)
+	w.Stop()
+	br := BranchResult{Name: v.Name, Summary: w.Summarize()}
+	if run != nil {
+		manifest, _, _, err := run.WriteFiles(o.ObsDir, "sweep-"+mode+"-"+v.Name)
+		if err != nil {
+			return br, fmt.Errorf("sweep: branch %q: %w", v.Name, err)
+		}
+		br.Manifest = filepath.Base(manifest)
+	}
+	return br, nil
+}
+
+// run executes every branch, warm (img != nil) or cold, bounded by
+// o.Parallel. Results land in per-branch slots, so concurrent branches
+// never contend and the output order is the matrix order regardless of
+// completion order.
+func run(m *Matrix, img []byte, mode string, o Options) (*Result, error) {
+	res := &Result{Mode: mode, Branches: make([]BranchResult, len(m.Branches))}
+	errs := make([]error, len(m.Branches))
+	par := o.Parallel
+	if par <= 0 {
+		par = 1
+	}
+	if par > len(m.Branches) {
+		par = len(m.Branches)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i, v := range m.Branches {
+		i, v := i, v
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res.Branches[i], errs[i] = runBranch(m, v, img, mode, o)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// RunWarm warms the base scenario once to the branch instant, snapshots
+// it, and forks every branch from the image.
+func RunWarm(m Matrix, o Options) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	base, err := snap.Build(m.Base)
+	if err != nil {
+		return nil, err
+	}
+	base.Run(m.WarmPoint)
+	img := base.Snapshot()
+	base.Stop()
+	return run(&m, img, "warm", o)
+}
+
+// RunCold simulates every branch from scratch — the baseline RunWarm is
+// verified against and benchmarked over.
+func RunCold(m Matrix, o Options) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return run(&m, nil, "cold", o)
+}
+
+// CSV renders the per-branch outcome surface, branches in matrix order.
+// Wall-clock anything is deliberately excluded: a warm CSV and a cold
+// CSV of the same matrix must be byte-identical, and CI diffs them.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("branch,flows_offered,flows_completed,marks,drops,blackholed,buffer_drops,pfc_pauses,mean_gbps,events_processed,digest\n")
+	for _, br := range r.Branches {
+		s := br.Summary
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%016x\n",
+			br.Name, s.FlowsOffered, s.FlowsCompleted, s.Marks, s.Drops,
+			s.Blackholed, s.BufferDrops, s.PFCPauses, s.MeanGbps, s.Processed, s.Digest)
+	}
+	return b.String()
+}
+
+// Equal reports whether two executor runs produced the same outcome for
+// every branch, and the first differing branch name when not.
+func Equal(a, b *Result) (bool, string) {
+	if len(a.Branches) != len(b.Branches) {
+		return false, fmt.Sprintf("branch count %d vs %d", len(a.Branches), len(b.Branches))
+	}
+	for i := range a.Branches {
+		if a.Branches[i].Name != b.Branches[i].Name || a.Branches[i].Summary != b.Branches[i].Summary {
+			return false, a.Branches[i].Name
+		}
+	}
+	return true, ""
+}
+
+// WREDLadder builds n branches stepping the ECN template from shallow to
+// deep thresholds — the canonical "what if the switch config were X"
+// sweep. Deterministic in n; names sort in ladder order.
+func WREDLadder(n int) []snap.Variant {
+	out := make([]snap.Variant, 0, n)
+	for i := 0; i < n; i++ {
+		kmin := (10 + 15*i) * simtime.KB
+		out = append(out, snap.Variant{
+			Name: fmt.Sprintf("wred-%02d", i),
+			WRED: &red.Config{Kmin: kmin, Kmax: 4 * kmin, Pmax: 0.2 + 0.05*float64(i%8)},
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

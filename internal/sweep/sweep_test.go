@@ -1,0 +1,130 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/snap"
+)
+
+func testMatrix(shards int, fidelity string, branches int) Matrix {
+	return Matrix{
+		Base: snap.Scenario{
+			NLeaf: 4, HostsPerLeaf: 3, NSpine: 2, Shards: shards,
+			Seed:  3,
+			Flows: 48, MaxBytes: 64 * simtime.KB, Spread: 380 * simtime.Microsecond, MixTCP: true,
+			Horizon:  simtime.Time(500 * simtime.Microsecond),
+			Fidelity: fidelity,
+		},
+		WarmPoint: simtime.Time(250 * simtime.Microsecond),
+		Branches:  WREDLadder(branches),
+	}
+}
+
+// TestWarmEqualsCold is the executor's core guarantee: the warm-forked
+// sweep and the cold sweep produce byte-identical CSVs, sequentially and
+// sharded, at both fidelities, serial and parallel.
+func TestWarmEqualsCold(t *testing.T) {
+	cases := []struct {
+		name     string
+		shards   int
+		fidelity string
+		parallel int
+	}{
+		{"packet-seq-serial", 1, "packet", 0},
+		{"packet-shards4-parallel", 4, "packet", 4},
+		{"hybrid-shards4-parallel", 4, "hybrid", 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := testMatrix(tc.shards, tc.fidelity, 4)
+			o := Options{Parallel: tc.parallel}
+			warm, err := RunWarm(m, o)
+			if err != nil {
+				t.Fatalf("RunWarm: %v", err)
+			}
+			cold, err := RunCold(m, o)
+			if err != nil {
+				t.Fatalf("RunCold: %v", err)
+			}
+			if ok, who := Equal(warm, cold); !ok {
+				t.Fatalf("warm≢cold at branch %s:\nwarm:\n%scold:\n%s", who, warm.CSV(), cold.CSV())
+			}
+			if warm.CSV() != cold.CSV() {
+				t.Fatalf("CSV mismatch:\nwarm:\n%scold:\n%s", warm.CSV(), cold.CSV())
+			}
+			// Branches must actually differ from each other, or the sweep
+			// explored nothing.
+			digests := make(map[uint64]bool)
+			for _, br := range warm.Branches {
+				digests[br.Summary.Digest] = true
+			}
+			if len(digests) < 2 {
+				t.Fatalf("all %d branches produced the same digest; variants had no effect", len(warm.Branches))
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSerial: the concurrency knob must not change any
+// outcome — branch worlds are independent by construction.
+func TestParallelMatchesSerial(t *testing.T) {
+	m := testMatrix(4, "hybrid", 6)
+	serial, err := RunWarm(m, Options{Parallel: 1})
+	if err != nil {
+		t.Fatalf("RunWarm serial: %v", err)
+	}
+	parallel, err := RunWarm(m, Options{Parallel: 6})
+	if err != nil {
+		t.Fatalf("RunWarm parallel: %v", err)
+	}
+	if ok, who := Equal(serial, parallel); !ok {
+		t.Fatalf("parallel≢serial at branch %s", who)
+	}
+}
+
+// TestObsManifests: per-branch obs artifacts land in the requested dir.
+func TestObsManifests(t *testing.T) {
+	m := testMatrix(1, "packet", 2)
+	dir := t.TempDir()
+	res, err := RunWarm(m, Options{ObsDir: dir})
+	if err != nil {
+		t.Fatalf("RunWarm: %v", err)
+	}
+	for _, br := range res.Branches {
+		if br.Manifest == "" {
+			t.Fatalf("branch %s has no manifest", br.Name)
+		}
+		if _, err := os.Stat(filepath.Join(dir, br.Manifest)); err != nil {
+			t.Fatalf("branch %s manifest: %v", br.Name, err)
+		}
+	}
+}
+
+// TestMatrixValidation exercises input rejection.
+func TestMatrixValidation(t *testing.T) {
+	good := testMatrix(1, "packet", 2)
+
+	m := good
+	m.WarmPoint = good.Base.Horizon
+	if _, err := RunWarm(m, Options{}); err == nil {
+		t.Errorf("accepted warm point at the horizon")
+	}
+	m = good
+	m.Branches = nil
+	if _, err := RunCold(m, Options{}); err == nil {
+		t.Errorf("accepted an empty branch list")
+	}
+	m = good
+	m.Branches = []snap.Variant{{Name: "x"}, {Name: "x"}}
+	if _, err := RunWarm(m, Options{}); err == nil {
+		t.Errorf("accepted duplicate branch names")
+	}
+	m = good
+	m.Branches = []snap.Variant{{}}
+	if _, err := RunWarm(m, Options{}); err == nil {
+		t.Errorf("accepted an unnamed branch")
+	}
+}

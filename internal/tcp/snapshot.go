@@ -1,0 +1,173 @@
+package tcp
+
+import (
+	"sort"
+
+	"github.com/accnet/acc/internal/eventq"
+	"github.com/accnet/acc/internal/netsim"
+	"github.com/accnet/acc/internal/simtime"
+	"github.com/accnet/acc/internal/snap/codec"
+)
+
+// Snapshot support, mirroring package dcqcn: live senders and receivers
+// serialize their complete dynamic state, and restore constructors rebuild
+// them on a freshly restored Network without construction side effects (no
+// initial trySend, no parameter re-normalization — Params were normalized
+// when the flow first started and are saved verbatim). Completed halves
+// unregister themselves, so only live flows appear in snapshots.
+
+func saveParams(w *codec.Writer, p Params) {
+	w.Int(p.MTU)
+	w.Int(p.Prio)
+	w.Bool(p.ECN)
+	w.F64(p.G)
+	w.Int(p.InitCwndPkts)
+	w.Int(p.MaxCwndPkts)
+	w.I64(int64(p.RTOMin))
+	w.Int(p.DupAckThresh)
+}
+
+func loadParams(r *codec.Reader) Params {
+	var p Params
+	p.MTU = r.Int()
+	p.Prio = r.Int()
+	p.ECN = r.Bool()
+	p.G = r.F64()
+	p.InitCwndPkts = r.Int()
+	p.MaxCwndPkts = r.Int()
+	p.RTOMin = simtime.Duration(r.I64())
+	p.DupAckThresh = r.Int()
+	return p
+}
+
+// SaveState writes the sender's dynamic state. Maps are serialized in sorted
+// key order so identical states produce identical bytes.
+func (f *Flow) SaveState(w *codec.Writer) {
+	w.Tag("tcp-tx")
+	w.U64(uint64(f.ID))
+	w.Int(f.DstID)
+	w.I64(f.Size)
+	saveParams(w, f.P)
+	w.I64(int64(f.Start))
+	w.I64(int64(f.End))
+	w.I64(f.sndUna)
+	w.I64(f.sndNext)
+	w.F64(f.cwnd)
+	w.F64(f.ssthresh)
+	w.Bool(f.inRecovery)
+	w.I64(f.recoverEnd)
+	w.Int(f.dupAcks)
+	w.F64(f.alpha)
+	w.I64(f.ackedBytes)
+	w.I64(f.markedBytes)
+	w.I64(f.winEnd)
+	w.I64(f.cwndCutSeq)
+	w.I64(int64(f.srtt))
+	w.I64(int64(f.rttvar))
+	w.U64(f.Retransmits)
+	w.U64(f.Timeouts)
+	w.U64(f.ECEAcks)
+	seqs := make([]int64, 0, len(f.sendTimes))
+	//acclint:ignore determinism key collection followed by sort is iteration-order-independent
+	for s := range f.sendTimes {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	w.Int(len(seqs))
+	for _, s := range seqs {
+		w.I64(s)
+		w.I64(int64(f.sendTimes[s]))
+	}
+	eventq.SaveTimer(w, f.rtoEv)
+}
+
+// RestoreSender rebuilds a live sender saved by SaveState on src,
+// registering its endpoint and re-arming the RTO at its recorded slot. No
+// packets are sent.
+func RestoreSender(net *netsim.Network, src *netsim.Host, r *codec.Reader) *Flow {
+	r.Expect("tcp-tx")
+	f := &Flow{Src: src, net: net}
+	f.ID = netsim.FlowID(r.U64())
+	f.DstID = r.Int()
+	f.Size = r.I64()
+	f.P = loadParams(r)
+	f.Start = simtime.Time(r.I64())
+	f.End = simtime.Time(r.I64())
+	f.sndUna = r.I64()
+	f.sndNext = r.I64()
+	f.cwnd = r.F64()
+	f.ssthresh = r.F64()
+	f.inRecovery = r.Bool()
+	f.recoverEnd = r.I64()
+	f.dupAcks = r.Int()
+	f.alpha = r.F64()
+	f.ackedBytes = r.I64()
+	f.markedBytes = r.I64()
+	f.winEnd = r.I64()
+	f.cwndCutSeq = r.I64()
+	f.srtt = simtime.Duration(r.I64())
+	f.rttvar = simtime.Duration(r.I64())
+	f.Retransmits = r.U64()
+	f.Timeouts = r.U64()
+	f.ECEAcks = r.U64()
+	n := r.Int()
+	f.sendTimes = make(map[int64]simtime.Time, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		s := r.I64()
+		f.sendTimes[s] = simtime.Time(r.I64())
+	}
+	f.trySendFn = f.trySend
+	f.onRTOFn = f.onRTO
+	f.rtoEv = net.Q.RestoreTimer(r, f.onRTOFn)
+	if r.Err() != nil {
+		return nil
+	}
+	src.Register(f.ID, netsim.EndpointFunc(f.senderHandle))
+	return f
+}
+
+// SaveState writes the receiver's dynamic state.
+func (rx *Receiver) SaveState(w *codec.Writer) {
+	w.Tag("tcp-rx")
+	w.U64(uint64(rx.ID))
+	w.Int(rx.SrcID)
+	w.I64(rx.Size)
+	saveParams(w, rx.P)
+	w.I64(int64(rx.Start))
+	w.I64(rx.rcvNext)
+	seqs := make([]int64, 0, len(rx.ooo))
+	//acclint:ignore determinism key collection followed by sort is iteration-order-independent
+	for s := range rx.ooo {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	w.Int(len(seqs))
+	for _, s := range seqs {
+		w.I64(s)
+		w.Int(rx.ooo[s])
+	}
+}
+
+// RestoreReceiver rebuilds a live receiver on dst. onDone is the world's
+// completion callback, re-bound by the caller.
+func RestoreReceiver(dst *netsim.Host, onDone func(*Receiver), r *codec.Reader) *Receiver {
+	r.Expect("tcp-rx")
+	rx := &Receiver{Dst: dst, net: dst.Net(), onDone: onDone}
+	rx.ID = netsim.FlowID(r.U64())
+	rx.SrcID = r.Int()
+	rx.Size = r.I64()
+	rx.P = loadParams(r)
+	rx.Start = simtime.Time(r.I64())
+	rx.rcvNext = r.I64()
+	n := r.Int()
+	rx.ooo = make(map[int64]int, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		s := r.I64()
+		rx.ooo[s] = r.Int()
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	dst.Register(rx.ID, netsim.EndpointFunc(rx.handle))
+	return rx
+}

@@ -256,7 +256,7 @@ func (f *Flow) trySend() {
 	}
 	for f.sndNext < f.Size && f.sndNext < f.sndUna+int64(f.cwnd) {
 		if !f.Src.Port.CanInject(f.P.Prio) {
-			f.Src.Port.WhenReady(f.P.Prio, f.trySendFn)
+			f.Src.Port.WhenReady(f.P.Prio, f)
 			return
 		}
 		payload := f.P.MTU
@@ -526,6 +526,13 @@ func (f *Flow) onRTO() {
 	}
 	f.emit(f.sndUna, payload, true)
 }
+
+// NICReady implements netsim.Waiter: the NIC drained below its injection
+// limit, so resume transmitting.
+func (f *Flow) NICReady() { f.trySend() }
+
+// WaiterID implements netsim.Waiter, identifying this sender for snapshots.
+func (f *Flow) WaiterID() (uint8, netsim.FlowID) { return netsim.WaiterTCP, f.ID }
 
 // senderTeardown cancels the RTO and unregisters the sender endpoint. It
 // touches sender-shard state only.
