@@ -6,9 +6,13 @@
 //
 //	go run ./cmd/acclint ./...
 //	go run ./cmd/acclint -checks determinism,hotpath ./internal/netsim
+//	go run ./cmd/acclint -json ./... > diagnostics.json
 //
 // Exit status 0 means the tree is clean, 1 means diagnostics were
 // reported, 2 means the load itself failed (parse or type errors).
+// With -json, diagnostics are emitted as a JSON array of
+// {file,line,col,check,msg} objects (an empty array when clean), which
+// CI uploads as a build artifact.
 //
 // Deliberate violations are annotated in source:
 //
@@ -20,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,11 +34,21 @@ import (
 	"github.com/accnet/acc/internal/lint"
 )
 
+// jsonDiag is the machine-readable diagnostic shape emitted by -json.
+type jsonDiag struct {
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
+}
+
 func main() {
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as a JSON array of {file,line,col,check,msg}")
 	verbose := flag.Bool("v", false, "list the packages and checks as they run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: acclint [-checks c1,c2] [-v] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: acclint [-checks c1,c2] [-json] [-v] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -85,12 +100,33 @@ func main() {
 	}
 
 	diags := lint.Run(prog, lint.DefaultConfig(), checkers)
-	for _, d := range diags {
+	for i := range diags {
 		// Print module-relative paths: stable across machines and CI.
+		d := &diags[i]
 		if rel, err := filepath.Rel(loader.ModRoot, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			d.Pos.Filename = rel
 		}
-		fmt.Println(d)
+	}
+	if *jsonFlag {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:  d.Pos.Filename,
+				Line:  d.Pos.Line,
+				Col:   d.Pos.Column,
+				Check: d.Check,
+				Msg:   d.Msg,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "acclint: %d diagnostic(s)\n", len(diags))

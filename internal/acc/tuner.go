@@ -172,11 +172,14 @@ type queueState struct {
 // Tuner is the per-switch ACC module (Figure 5): collector → data processor
 // → DRL agent → configurator, on one ΔT loop.
 type Tuner struct {
-	Net    *netsim.Network
+	Net *netsim.Network
+	//acclint:ignore snapcover construction wiring: restore rebuilds the tuner on the same switch; dynamic state lives in rngSrc and queues
 	Switch *netsim.Switch
-	Agent  *rl.Agent
-	Cfg    Config
+	//acclint:ignore snapcover saved by its owner (System.SaveState or the world) because agents may be shared across tuners
+	Agent *rl.Agent
+	Cfg   Config
 
+	//acclint:ignore snapcover wrapper over rngSrc; the saved draw count fast-forwards the source, reproducing the stream
 	rng    *rand.Rand
 	rngSrc *netsim.CountedSource
 	queues []*queueState
@@ -196,6 +199,7 @@ type Tuner struct {
 	// telemetry fault (collector overload).
 	TelemetryDrops uint64
 
+	//acclint:ignore snapcover fault-scenario wiring re-installed by Build from the Scenario; its dynamic effect is the saved TelemetryDrops
 	fault   TelemetryFault
 	stopped bool
 }

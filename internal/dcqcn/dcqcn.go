@@ -79,7 +79,8 @@ type Flow struct {
 	P     Params
 
 	Start simtime.Time
-	End   simtime.Time // mirrored from the Receiver by Start's wrapper
+	//acclint:ignore snapcover zero while the sender half is live, and only live halves are saved (SaveApplied); completion re-mirrors it via the receiver callback
+	End simtime.Time // mirrored from the Receiver by Start's wrapper
 
 	net  *netsim.Network
 	line simtime.Rate
@@ -91,7 +92,8 @@ type Flow struct {
 	incBytes  int64 // bytes since last byte-counter event
 	sent      int64
 	increased bool // rate increase happened since the last cut
-	sentAll   bool // sender handed the last byte to the NIC and tore down
+	//acclint:ignore snapcover false while the sender half is live, and only live senders (!SenderDone) are saved
+	sentAll bool // sender handed the last byte to the NIC and tore down
 
 	paceEv  *eventq.Event
 	alphaEv *eventq.Event
@@ -103,6 +105,7 @@ type Flow struct {
 
 	// rx is the paired notification point when both halves share a Network
 	// (sequential Start); nil for split sharded starts.
+	//acclint:ignore snapcover sequential-start accessor shortcut; restored flows take the split registry path and drivers read completion from Applied.End
 	rx *Receiver
 
 	// Pre-bound callbacks, created once in StartSender: the pacer fires per
@@ -124,14 +127,16 @@ type Receiver struct {
 	P     Params
 
 	Start simtime.Time
-	End   simtime.Time // zero until complete
+	//acclint:ignore snapcover zero while the receiver half is live, and only live receivers (!Done) are saved
+	End simtime.Time // zero until complete
 
 	net *netsim.Network
 
 	rcvd    int64
 	lastCNP simtime.Time
 	cnpSent bool
-	done    bool
+	//acclint:ignore snapcover false while the receiver half is live, and only live receivers (!Done) are saved
+	done bool
 
 	// MarkedSeen counts CE-marked data packets observed at the receiver.
 	MarkedSeen uint64

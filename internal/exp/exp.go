@@ -273,7 +273,7 @@ func newNet(o Options, seed int64) *netsim.Network {
 // List returns the registered experiment ids and descriptions, sorted.
 func List() [][2]string {
 	var out [][2]string
-	//acclint:ignore determinism collection order is irrelevant; the sort below normalizes it
+	//acclint:ignore determinism@1 collection order is irrelevant; the sort below normalizes it
 	for id, e := range registry {
 		out = append(out, [2]string{id, e.Desc})
 	}

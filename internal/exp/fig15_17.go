@@ -206,7 +206,7 @@ func runFig17(o Options) []*Table {
 		}
 		var mode float64
 		best := 0
-		//acclint:ignore determinism ties break on (count, then smallest value), so the result is iteration-order-independent
+		//acclint:ignore determinism@1 ties break on (count, then smallest value), so the result is iteration-order-independent
 		for v, c := range counts {
 			if c > best || (c == best && v < mode) {
 				best, mode = c, v

@@ -81,6 +81,7 @@ func runMixTrace(o Options, tr *workload.Trace) *mixResult {
 	if o.Obs != nil {
 		tracer = o.Obs.Tracer
 	}
+	//acclint:ignore barriermut plan wiring before Apply: no shard window has started, so the registration cannot race the run
 	plan.OnStart = func(i int, at simtime.Time) {
 		// Runs on the shard owning the sender: the recorder slot write is
 		// per-flow (race-free by disjointness), the tracer locks internally.

@@ -1,0 +1,30 @@
+package lint
+
+// Codecsym proves snapshot write/read symmetry at the source level: every
+// tagged save function (one whose first stream op is w.Tag("...")) must
+// have a load counterpart whose ordered codec.Reader calls mirror the
+// codec.Writer calls one-to-one — Tag against Expect with the same
+// literal, primitive against same-kind primitive, helper call against
+// helper call (verified recursively), loops against loops, conditionals
+// against conditionals. Field-name hints catch transposed same-type
+// reads: if the save writes .srtt where the load assigns .rttvar, the
+// restored state is plausible but wrong, the worst failure mode a codec
+// has. See codecseq.go for the sequence model.
+//
+// A tag expected by several loads designates the heaviest as the full
+// restorer; the others may consume a prefix (header peeking à la
+// snap.Peek). Saves with no expecting load, and loads expecting a tag
+// nothing writes, are both diagnostics: unreachable state is a bug in
+// whichever direction it points.
+type Codecsym struct{}
+
+// Name implements Checker.
+func (Codecsym) Name() string { return "codecsym" }
+
+// Rev is the audit revision for //acclint:ignore codecsym@rev pins.
+func (Codecsym) Rev() int { return 1 }
+
+// Check implements Checker.
+func (Codecsym) Check(prog *Program, cfg *Config) []Diagnostic {
+	return analyzeCodec(prog, cfg).diags
+}

@@ -29,6 +29,40 @@ type Config struct {
 	// root must not format or concatenate strings.
 	HotRoots []string
 
+	// CodecWriterType / CodecReaderType name the snapshot codec's stream
+	// types ("importpath.TypeName"). They anchor the codecsym and
+	// snapcover checkers; when empty, both checkers are inert.
+	CodecWriterType string
+	CodecReaderType string
+
+	// SnapSaveFuncs are save helpers ("importpath.Func" or
+	// "importpath.Type.Method") whose named-struct parameters are held to
+	// the snapcover completeness obligation in addition to every type
+	// with a SaveState/saveState method.
+	SnapSaveFuncs []string
+
+	// BarrierOwnedTypes name coordinator-owned types
+	// ("importpath.TypeName") whose fields may only be mutated in barrier
+	// contexts: barriermut flags writes from anywhere else.
+	BarrierOwnedTypes []string
+
+	// BarrierSlotFields ("importpath.Type.Field") are the per-flow slot
+	// fields: element writes into them are the sanctioned race-free
+	// deferral mechanism and are legal from any context, including
+	// shard-window closures.
+	BarrierSlotFields []string
+
+	// BarrierRoots are named functions that establish a barrier context
+	// (the coordinator loop, plan application, sequential-mode drivers):
+	// functions statically reachable from them — through named calls, not
+	// through function literals — may mutate coordinator-owned state.
+	BarrierRoots []string
+
+	// BarrierMutMethods are coordinator methods that mutate shared state
+	// behind a call ("importpath.Type.Method"); calling one outside a
+	// barrier context is flagged like a direct write.
+	BarrierMutMethods []string
+
 	// Allow exempts (check, package, file, function) tuples from a
 	// checker. Unlike //acclint:ignore annotations, allowlist entries are
 	// configuration: they cover whole files or functions that are
@@ -142,6 +176,71 @@ func DefaultConfig() *Config {
 			Module + "/internal/hybrid.Engine.commitTo",
 			Module + "/internal/hybrid.Engine.waterfill",
 		},
+		// The snapshot codec stream types: every SaveState/LoadState pair
+		// in the tree moves bytes through these two.
+		CodecWriterType: Module + "/internal/snap/codec.Writer",
+		CodecReaderType: Module + "/internal/snap/codec.Reader",
+		// Save helpers that serialize a struct passed as a parameter
+		// rather than a receiver; snapcover binds the completeness
+		// obligation to the named-struct parameter.
+		SnapSaveFuncs: []string{
+			Module + "/internal/dcqcn.saveParams",
+			Module + "/internal/tcp.saveParams",
+			Module + "/internal/netsim.savePacket",
+			Module + "/internal/hybrid.Engine.SaveFlow",
+			Module + "/internal/psim.Engine.SaveApplied",
+			Module + "/internal/snap.saveScenario",
+			Module + "/internal/rl.saveTransition",
+		},
+		// Coordinator-owned state in the parallel engine and the hybrid
+		// overlay: mutations must happen at the barrier (or through the
+		// slot fields below).
+		BarrierOwnedTypes: []string{
+			Module + "/internal/psim.Engine",
+			Module + "/internal/psim.HybridState",
+			Module + "/internal/psim.Applied",
+			Module + "/internal/psim.Plan",
+			Module + "/internal/hybrid.Engine",
+			Module + "/internal/hybrid.Link",
+			Module + "/internal/hybrid.Flow",
+		},
+		// Per-flow slot fields: disjoint element writes are the sanctioned
+		// way for shard-window callbacks to defer effects to the barrier.
+		BarrierSlotFields: []string{
+			Module + "/internal/psim.HybridState.hflows",
+			Module + "/internal/psim.HybridState.packetDone",
+			Module + "/internal/psim.Applied.End",
+			Module + "/internal/psim.Applied.DCQCNSend",
+			Module + "/internal/psim.Applied.DCQCNRecv",
+			Module + "/internal/psim.Applied.TCPSend",
+			Module + "/internal/psim.Applied.TCPRecv",
+		},
+		// Barrier contexts: construction/apply (shards not yet running),
+		// the coordinator loop itself, and the hybrid overlay's own event
+		// path (which runs on the coordinator between windows).
+		BarrierRoots: []string{
+			Module + "/internal/psim.Build",
+			Module + "/internal/psim.PlanFromTrace",
+			Module + "/internal/psim.RecordPlan",
+			Module + "/internal/hybrid.New",
+			Module + "/internal/hybrid.NewBarrier",
+			Module + "/internal/psim.Engine.Run",
+			Module + "/internal/psim.Engine.Apply",
+			Module + "/internal/psim.Engine.ApplyHybrid",
+			Module + "/internal/psim.ApplyToFabric",
+			Module + "/internal/psim.HybridState.barrier",
+			Module + "/internal/hybrid.Engine.tickEvent",
+			Module + "/internal/hybrid.Engine.completeEvent",
+			Module + "/internal/hybrid.Engine.StartTicker",
+		},
+		// Mutations hidden behind method calls — the PR 8 race was a
+		// mid-window PacketDone from a shard callback.
+		BarrierMutMethods: []string{
+			Module + "/internal/hybrid.Engine.Tick",
+			Module + "/internal/hybrid.Engine.PacketDone",
+			Module + "/internal/hybrid.Engine.StartFlow",
+			Module + "/internal/hybrid.Engine.Stop",
+		},
 		Allow: []AllowEntry{
 			{
 				Check: "determinism",
@@ -174,6 +273,21 @@ func DefaultConfig() *Config {
 				Reason: "the conservative-sync coordinator: shard goroutines are barrier-isolated " +
 					"(phases alternate over channels, so no two goroutines touch simulation state " +
 					"concurrently) and TestGOMAXPROCSDeterminism proves interleaving is unobservable",
+			},
+			{
+				Check: "barriermut",
+				Pkg:   Module + "/internal/exp",
+				File:  "hybrid.go",
+				Reason: "sequential-mode hybrid driver: a single event queue drives the engine, there " +
+					"are no shard windows, so StartFlow/PacketDone/Stop from completion callbacks " +
+					"cannot race the (nonexistent) coordinator",
+			},
+			{
+				Check: "barriermut",
+				Pkg:   Module + "/internal/perf",
+				File:  "hybridbench.go",
+				Reason: "sequential-mode hybrid benchmark: single event queue, no shard windows; the " +
+					"closures are plain event callbacks, not window-escaping shard code",
 			},
 		},
 	}

@@ -33,6 +33,9 @@ type Determinism struct{}
 // Name implements Checker.
 func (Determinism) Name() string { return "determinism" }
 
+// Rev is the audit revision for //acclint:ignore determinism@rev pins.
+func (Determinism) Rev() int { return 1 }
+
 // wallClockFuncs are the time package functions that read or wait on the
 // wall clock. Pure constructors and conversions (time.Duration, time.Unix,
 // time.Date, time.Parse) are allowed.

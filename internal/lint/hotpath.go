@@ -33,6 +33,9 @@ type Hotpath struct{}
 // Name implements Checker.
 func (Hotpath) Name() string { return "hotpath" }
 
+// Rev is the audit revision for //acclint:ignore hotpath@rev pins.
+func (Hotpath) Rev() int { return 1 }
+
 // schedMethods are the eventq.Queue scheduling entry points covered by
 // the function-literal rule.
 var schedMethods = map[string]bool{

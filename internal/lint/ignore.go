@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"strconv"
 	"strings"
 )
 
 // ignorePrefix introduces an in-source suppression:
 //
 //	//acclint:ignore <check> <reason>
+//	//acclint:ignore <check>@<rev> <reason>
 //
 // The annotation suppresses diagnostics of <check> reported on the same
 // line (trailing comment) or on the line immediately below (comment on
@@ -17,12 +19,21 @@ import (
 // recorded justification is how invariants rot. Annotations are audited:
 // naming an unknown check, omitting the reason, or suppressing nothing
 // (a stale ignore) are themselves build-failing diagnostics.
+//
+// The optional @<rev> pins the checker revision (Checker.Rev) the
+// suppression was audited against. When a checker's rules tighten its
+// revision is bumped, and every pinned annotation left behind stops
+// suppressing and becomes a build-failing "re-audit me" diagnostic —
+// stale-reason rot is detected instead of silently carried forward.
+// Unpinned annotations are revision-agnostic.
 const ignorePrefix = "//acclint:ignore"
 
 // ignore is one parsed annotation.
 type ignore struct {
 	pos    token.Position
-	check  string
+	check  string // base check name, "@rev" suffix stripped
+	rev    int    // pinned checker revision, or -1 when unpinned
+	badRev bool   // "@" present but the revision did not parse
 	reason string
 	used   bool
 }
@@ -44,10 +55,18 @@ func scanIgnores(prog *Program) []*ignore {
 						continue
 					}
 					fields := strings.Fields(rest)
-					ig := &ignore{pos: prog.Fset.Position(c.Pos())}
+					ig := &ignore{pos: prog.Fset.Position(c.Pos()), rev: -1}
 					if len(fields) > 0 {
 						ig.check = fields[0]
 						ig.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+						if base, revStr, found := strings.Cut(ig.check, "@"); found {
+							ig.check = base
+							if n, err := strconv.Atoi(revStr); err == nil && n >= 0 {
+								ig.rev = n
+							} else {
+								ig.badRev = true
+							}
+						}
 					}
 					igs = append(igs, ig)
 				}
@@ -59,11 +78,18 @@ func scanIgnores(prog *Program) []*ignore {
 
 // applyIgnores filters diags through the annotations and appends
 // annotation-misuse errors under the pseudo-check "acclint" (which cannot
-// itself be ignored). known is every check name that exists; active is the
-// subset that actually ran — staleness is only decidable for those.
-func applyIgnores(diags []Diagnostic, igs []*ignore, known, active map[string]bool) []Diagnostic {
+// itself be ignored). known maps every check name that exists to its
+// current revision; active is the subset that actually ran — staleness is
+// only decidable for those. An annotation pinned to an outdated revision
+// is rotten: it neither suppresses nor passes the audit.
+func applyIgnores(diags []Diagnostic, igs []*ignore, known map[string]int, active map[string]bool) []Diagnostic {
+	rotten := func(ig *ignore) bool {
+		rev, ok := known[ig.check]
+		return ok && ig.rev >= 0 && ig.rev != rev
+	}
 	valid := func(ig *ignore) bool {
-		return known[ig.check] && ig.reason != ""
+		_, ok := known[ig.check]
+		return ok && ig.reason != "" && !ig.badRev && !rotten(ig)
 	}
 	var out []Diagnostic
 	for _, d := range diags {
@@ -90,17 +116,26 @@ func applyIgnores(diags []Diagnostic, igs []*ignore, known, active map[string]bo
 	}
 	sort.Strings(keys)
 	for _, ig := range igs {
+		_, checkKnown := known[ig.check]
 		switch {
 		case ig.check == "":
 			out = append(out, Diagnostic{Pos: ig.pos, Check: "acclint",
-				Msg: "malformed annotation: want //acclint:ignore <check> <reason>"})
-		case !known[ig.check]:
+				Msg: "malformed annotation: want //acclint:ignore <check>[@rev] <reason>"})
+		case !checkKnown:
 			out = append(out, Diagnostic{Pos: ig.pos, Check: "acclint",
 				Msg: fmt.Sprintf("unknown check %q in //acclint:ignore (known checks: %s)",
 					ig.check, strings.Join(keys, ", "))})
+		case ig.badRev:
+			out = append(out, Diagnostic{Pos: ig.pos, Check: "acclint",
+				Msg: fmt.Sprintf("//acclint:ignore %s: revision pin must be a non-negative integer (//acclint:ignore %s@%d <reason>)",
+					ig.check, ig.check, known[ig.check])})
 		case ig.reason == "":
 			out = append(out, Diagnostic{Pos: ig.pos, Check: "acclint",
 				Msg: fmt.Sprintf("//acclint:ignore %s needs a reason: an escape hatch without a recorded justification is not auditable", ig.check)})
+		case rotten(ig):
+			out = append(out, Diagnostic{Pos: ig.pos, Check: "acclint",
+				Msg: fmt.Sprintf("rotten //acclint:ignore: audited against %s rev %d but the checker is now rev %d — re-audit the suppression and re-pin it (//acclint:ignore %s@%d <reason>)",
+					ig.check, ig.rev, known[ig.check], ig.check, known[ig.check])})
 		case !ig.used && active[ig.check]:
 			out = append(out, Diagnostic{Pos: ig.pos, Check: "acclint",
 				Msg: fmt.Sprintf("stale //acclint:ignore: no %s diagnostic on this or the next line — delete the annotation", ig.check)})

@@ -44,14 +44,22 @@ func (d Diagnostic) String() string {
 // Checker is one analysis pass over a whole loaded program. Checkers see
 // the full Program (not one package at a time) because some properties —
 // hot-path reachability — are inherently cross-package.
+//
+// Rev is the checker's audit revision: it starts at 1 and is bumped
+// whenever the checker's rules tighten enough that previously audited
+// //acclint:ignore annotations deserve a fresh look. An annotation may pin
+// the revision it was audited against ("//acclint:ignore check@2 reason");
+// when the pinned revision falls behind Rev, the annotation itself becomes
+// a diagnostic until someone re-audits and re-pins it (ignore.go).
 type Checker interface {
 	Name() string
+	Rev() int
 	Check(prog *Program, cfg *Config) []Diagnostic
 }
 
 // AllCheckers returns the full suite in a fixed order.
 func AllCheckers() []Checker {
-	return []Checker{Determinism{}, Hotpath{}, TracerGuard{}}
+	return []Checker{Determinism{}, Hotpath{}, TracerGuard{}, Snapcover{}, Codecsym{}, Barriermut{}}
 }
 
 // Run executes the checkers over prog, applies the //acclint:ignore
@@ -61,15 +69,16 @@ func AllCheckers() []Checker {
 func Run(prog *Program, cfg *Config, checkers []Checker) []Diagnostic {
 	// The check-name universe is always the full suite: an annotation for a
 	// checker that exists but was deselected this run (acclint -checks ...)
-	// is neither unknown nor provably stale.
-	known := make(map[string]bool)
+	// is neither unknown nor provably stale. Revision pins, by contrast,
+	// are statically decidable, so the map carries each checker's Rev.
+	known := make(map[string]int)
 	for _, c := range AllCheckers() {
-		known[c.Name()] = true
+		known[c.Name()] = c.Rev()
 	}
 	active := make(map[string]bool, len(checkers))
 	var diags []Diagnostic
 	for _, c := range checkers {
-		known[c.Name()] = true
+		known[c.Name()] = c.Rev()
 		active[c.Name()] = true
 		diags = append(diags, c.Check(prog, cfg)...)
 	}

@@ -39,6 +39,25 @@ func fixtureCases() []fixtureCase {
 	tracer := func(ipath string) *lint.Config {
 		return &lint.Config{TracerTypes: []string{ipath + ".Tracer"}}
 	}
+	codec := func(ipath string) *lint.Config {
+		return &lint.Config{
+			CodecWriterType: ipath + ".Writer",
+			CodecReaderType: ipath + ".Reader",
+		}
+	}
+	snapcover := func(ipath string) *lint.Config {
+		cfg := codec(ipath)
+		cfg.SnapSaveFuncs = []string{ipath + ".saveParams"}
+		return cfg
+	}
+	barrier := func(ipath string) *lint.Config {
+		return &lint.Config{
+			BarrierOwnedTypes: []string{ipath + ".Coord"},
+			BarrierSlotFields: []string{ipath + ".Coord.slots"},
+			BarrierRoots:      []string{ipath + ".Run"},
+			BarrierMutMethods: []string{ipath + ".Coord.Stop"},
+		}
+	}
 	return []fixtureCase{
 		{"determinism_bad", deterministic},
 		{"determinism_ok", func(ipath string) *lint.Config {
@@ -55,6 +74,12 @@ func fixtureCases() []fixtureCase {
 		{"hotpath_ok", hotpath},
 		{"tracerguard_bad", tracer},
 		{"tracerguard_ok", tracer},
+		{"codecsym_bad", codec},
+		{"codecsym_ok", codec},
+		{"snapcover_bad", snapcover},
+		{"snapcover_ok", snapcover},
+		{"barriermut_bad", barrier},
+		{"barriermut_ok", barrier},
 		{"ignore_bad", deterministic},
 		{"ignore_ok", deterministic},
 	}
@@ -144,15 +169,17 @@ func TestIgnoreSemantics(t *testing.T) {
 	for _, d := range diags {
 		byCheck[d.Check]++
 	}
-	// wrongName, noReason, and crossCheck each leave their time.Now()
-	// diagnostic un-suppressed.
-	if byCheck["determinism"] != 3 {
-		t.Errorf("determinism diagnostics surviving misuse = %d, want 3\n%s",
+	// wrongName, noReason, crossCheck, rottenPin, and badPin each leave
+	// their time.Now() diagnostic un-suppressed — a rotten or unparsable
+	// revision pin stops suppressing.
+	if byCheck["determinism"] != 5 {
+		t.Errorf("determinism diagnostics surviving misuse = %d, want 5\n%s",
 			byCheck["determinism"], render(diags))
 	}
-	// Unknown check, missing reason, stale, stale-cross-check, malformed.
-	if byCheck["acclint"] != 5 {
-		t.Errorf("acclint misuse diagnostics = %d, want 5\n%s", byCheck["acclint"], render(diags))
+	// Unknown check, missing reason, stale, stale-cross-check, malformed,
+	// rotten pin, unparsable pin.
+	if byCheck["acclint"] != 7 {
+		t.Errorf("acclint misuse diagnostics = %d, want 7\n%s", byCheck["acclint"], render(diags))
 	}
 
 	var msgs []string
@@ -162,7 +189,7 @@ func TestIgnoreSemantics(t *testing.T) {
 		}
 	}
 	joined := strings.Join(msgs, "\n")
-	for _, want := range []string{"unknown check", "needs a reason", "stale //acclint:ignore", "malformed annotation"} {
+	for _, want := range []string{"unknown check", "needs a reason", "stale //acclint:ignore", "malformed annotation", "rotten //acclint:ignore"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("acclint misuse messages missing %q:\n%s", want, joined)
 		}

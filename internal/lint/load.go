@@ -164,6 +164,12 @@ func (l *Loader) loadDir(dir, importPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
 	}
+	// ImportDir does not error on a directory holding only _test.go
+	// files; without this guard such a directory would type-check as an
+	// empty pseudo-package.
+	if len(bp.GoFiles) == 0 {
+		return nil, fmt.Errorf("lint: %s: no non-test Go files in %s", importPath, dir)
+	}
 	files := make([]*ast.File, 0, len(bp.GoFiles))
 	names := append([]string{}, bp.GoFiles...)
 	sort.Strings(names)
@@ -303,7 +309,9 @@ func packageDirs(root string) ([]string, error) {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 			return filepath.SkipDir
 		}
-		if _, err := build.Default.ImportDir(path, 0); err == nil {
+		// Require at least one non-test Go file: ImportDir succeeds on a
+		// _test.go-only directory, but there is no package to check there.
+		if bp, err := build.Default.ImportDir(path, 0); err == nil && len(bp.GoFiles) > 0 {
 			dirs = append(dirs, path)
 		}
 		return nil

@@ -1,0 +1,123 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/accnet/acc/internal/lint"
+)
+
+// writeTree materializes a map of relative path -> contents under root.
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir %s: %v", rel, err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatalf("write %s: %v", rel, err)
+		}
+	}
+}
+
+// TestLoadDirBuildTagExcluded pins that the loader honors build
+// constraints: a file excluded by its //go:build tag is neither parsed
+// nor type-checked, even when it would not compile.
+func TestLoadDirBuildTagExcluded(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"ok.go": "package p\n\nconst A = 1\n",
+		"excluded.go": "//go:build neverbuildme\n\npackage p\n\n" +
+			"const B = thisIdentifierDoesNotExist\n",
+	})
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, "acclint/fixture/tagexcluded")
+	if err != nil {
+		t.Fatalf("LoadDir with tag-excluded file: %v", err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Errorf("loaded %d files, want 1 (excluded.go must be skipped)", len(pkg.Files))
+	}
+}
+
+// TestLoadSkipsTestOnlyDirs pins the ./... expansion contract: a
+// directory holding only _test.go files is not a buildable package and
+// must be skipped, exactly like the go tool skips it.
+func TestLoadSkipsTestOnlyDirs(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod":        "module example.com/m\n\ngo 1.21\n",
+		"a/a.go":        "package a\n\nconst A = 1\n",
+		"b/b_test.go":   "package b\n\nimport \"testing\"\n\nfunc TestB(t *testing.T) {}\n",
+		"c/sub/sub.go":  "package sub\n\nconst C = 3\n",
+		"testdata/x.go": "package x\n\nconst X = 9\n",
+	})
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	prog, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	var got []string
+	for _, p := range prog.Pkgs {
+		got = append(got, p.ImportPath)
+	}
+	want := []string{"example.com/m/a", "example.com/m/c/sub"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("Load ./... = %v, want %v (test-only and testdata dirs skipped)", got, want)
+	}
+
+	// Loading the test-only directory directly is an error: LoadDir sees
+	// no buildable non-test Go files.
+	if _, err := loader.LoadDir(filepath.Join(root, "b"), "example.com/m/b"); err == nil {
+		t.Errorf("LoadDir on a _test.go-only directory succeeded, want error")
+	}
+}
+
+// TestFindModuleFailures pins both findModule error paths, surfaced
+// through NewLoader: no go.mod anywhere above the start directory, and a
+// go.mod that lacks a module directive.
+func TestFindModuleFailures(t *testing.T) {
+	bare := t.TempDir()
+	if _, err := lint.NewLoader(bare); err == nil {
+		t.Errorf("NewLoader in a module-less tree succeeded, want error")
+	} else if !strings.Contains(err.Error(), "no go.mod found above") {
+		t.Errorf("NewLoader error = %q, want it to mention the missing go.mod", err)
+	}
+
+	nomod := t.TempDir()
+	writeTree(t, nomod, map[string]string{
+		"go.mod": "// a go.mod with no module directive\ngo 1.21\n",
+	})
+	if _, err := lint.NewLoader(nomod); err == nil {
+		t.Errorf("NewLoader with directive-less go.mod succeeded, want error")
+	} else if !strings.Contains(err.Error(), "no module directive") {
+		t.Errorf("NewLoader error = %q, want it to mention the missing module directive", err)
+	}
+}
+
+// TestLoadTypeErrorSurfaced pins that type errors in a loaded package are
+// reported as errors rather than producing a half-checked Program.
+func TestLoadTypeErrorSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"broken.go": "package p\n\nvar V = undefinedIdentifier\n",
+	})
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if _, err := loader.LoadDir(dir, "acclint/fixture/broken"); err == nil {
+		t.Errorf("LoadDir on a package with type errors succeeded, want error")
+	} else if !strings.Contains(err.Error(), "type errors") {
+		t.Errorf("LoadDir error = %q, want it to mention type errors", err)
+	}
+}

@@ -1,0 +1,53 @@
+// Package barriermut_bad seeds every way shard-window code can mutate
+// coordinator-owned state illegally: a closure defined in barrier code
+// that escapes into a window, direct writes from a function outside any
+// barrier context, a whole-slot-field reassignment (only element writes
+// are the sanctioned deferral), and a mutating method call hidden behind
+// a window callback.
+package barriermut_bad
+
+// Coord is the fixture's coordinator-owned type; the test config names
+// it in BarrierOwnedTypes, slots in BarrierSlotFields, Run in
+// BarrierRoots, and Stop in BarrierMutMethods.
+type Coord struct {
+	now   int64
+	slots []int64
+	done  bool
+}
+
+// Stop is a declared barrier-only mutating method; its own receiver
+// writes are its invariant domain and stay legal.
+func (c *Coord) Stop() {
+	c.done = true
+}
+
+// Run is the barrier root: its direct writes and the writes of named
+// functions it calls are legal, but the closure it schedules escapes
+// into a shard window and may not touch owned state.
+func Run(c *Coord) {
+	c.now = 1
+	helper(c)
+	schedule(func() {
+		c.now = 2
+	})
+}
+
+// helper is statically reachable from Run through a named call, so its
+// write executes under the barrier.
+func helper(c *Coord) {
+	c.now = 3
+}
+
+// window models shard-window code: not reachable from any barrier root.
+// The element write into slots is the sanctioned deferral and passes;
+// everything else is flagged.
+func window(c *Coord) {
+	c.now = 4
+	c.slots[0] = 9
+	c.slots = nil
+	c.Stop()
+}
+
+func schedule(f func()) { _ = f }
+
+var _ = []any{Run, window}

@@ -1,0 +1,55 @@
+// Package barriermut_ok exercises every sanctioned mutation path: barrier
+// roots and the named functions they reach, slot-element deferral (legal
+// even inside window closures), the owned type's own methods, and an
+// audited //acclint:ignore for a sequential-mode caller.
+package barriermut_ok
+
+// Coord is the fixture's coordinator-owned type; the test config names
+// it in BarrierOwnedTypes, slots in BarrierSlotFields, Run in
+// BarrierRoots, and Stop in BarrierMutMethods.
+type Coord struct {
+	now   int64
+	slots []int64
+	done  bool
+}
+
+// Stop mutates through the owned type's own method: its invariant domain.
+func (c *Coord) Stop() {
+	c.done = true
+}
+
+// Tick likewise: receiver writes from the type's own methods are legal.
+func (c *Coord) Tick() {
+	c.now++
+}
+
+// Run is the barrier root: direct writes, named-call reachability, and a
+// scheduled closure that defers only through slot elements.
+func Run(c *Coord) {
+	c.now = 1
+	helper(c)
+	schedule(func() {
+		c.slots[0] = 2
+	})
+}
+
+func helper(c *Coord) {
+	c.now = 3
+}
+
+// window is shard code deferring through a slot element: the sanctioned
+// mechanism, legal without any barrier context.
+func window(c *Coord) {
+	c.slots[1] = 4
+}
+
+// bench mirrors the real tree's sequential-mode drivers: the mutating
+// method call is outside any barrier context but audited and annotated.
+func bench(c *Coord) {
+	//acclint:ignore barriermut fixture mirror of the sequential-mode driver exemption: one event queue, no shard windows
+	c.Stop()
+}
+
+func schedule(f func()) { _ = f }
+
+var _ = []any{Run, window, bench}

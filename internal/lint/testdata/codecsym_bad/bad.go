@@ -1,0 +1,97 @@
+// Package codecsym_bad seeds every class of save/load asymmetry the
+// codecsym checker proves absent: transposed field order, a mistyped
+// read, orphaned tags with no counterpart, and a repeated block the load
+// side forgot. expected.golden pins the diagnostics.
+package codecsym_bad
+
+// Writer and Reader are the fixture's own codec stream types; the test
+// config points CodecWriterType/CodecReaderType at them.
+type Writer struct{}
+
+func (w *Writer) Tag(string)    {}
+func (w *Writer) U64(uint64)    {}
+func (w *Writer) I64(int64)     {}
+func (w *Writer) Int(int)       {}
+func (w *Writer) Bool(bool)     {}
+func (w *Writer) F64(float64)   {}
+func (w *Writer) String(string) {}
+
+type Reader struct{ err error }
+
+func (r *Reader) Expect(string)  {}
+func (r *Reader) U64() uint64    { return 0 }
+func (r *Reader) I64() int64     { return 0 }
+func (r *Reader) Int() int       { return 0 }
+func (r *Reader) Bool() bool     { return false }
+func (r *Reader) F64() float64   { return 0 }
+func (r *Reader) String() string { return "" }
+func (r *Reader) Err() error     { return r.err }
+
+// state restores its two RTT fields in the opposite order from the save:
+// the bytes land in the wrong fields and codecsym reports the
+// transposition by field hint.
+type state struct {
+	srtt   int64
+	rttvar int64
+}
+
+func (s *state) SaveState(w *Writer) {
+	w.Tag("state")
+	w.I64(s.srtt)
+	w.I64(s.rttvar)
+}
+
+func (s *state) RestoreState(r *Reader) {
+	r.Expect("state")
+	s.rttvar = r.I64()
+	s.srtt = r.I64()
+}
+
+// counter writes n as a signed 64-bit value but reads it back unsigned:
+// the stream kinds disagree.
+type counter struct {
+	n int64
+}
+
+func (c *counter) SaveState(w *Writer) {
+	w.Tag("counter")
+	w.I64(c.n)
+}
+
+func (c *counter) RestoreState(r *Reader) {
+	r.Expect("counter")
+	c.n = int64(r.U64())
+}
+
+// saveOrphan writes a tag no load function ever expects, and loadOrphan
+// expects a tag no save function ever writes: both halves are reported.
+func saveOrphan(w *Writer, v int) {
+	w.Tag("orphan-save")
+	w.Int(v)
+}
+
+func loadOrphan(r *Reader) int {
+	r.Expect("orphan-load")
+	return r.Int()
+}
+
+// series writes a length-prefixed element loop that the load side never
+// replays: every element after the count is silently dropped.
+type series struct {
+	vals []float64
+}
+
+func (s *series) SaveState(w *Writer) {
+	w.Tag("series")
+	w.Int(len(s.vals))
+	for _, v := range s.vals {
+		w.F64(v)
+	}
+}
+
+func (s *series) RestoreState(r *Reader) {
+	r.Expect("series")
+	_ = r.Int()
+}
+
+var _ = []any{saveOrphan, loadOrphan}

@@ -35,4 +35,18 @@ func crossCheck() time.Time {
 //acclint:ignore
 func malformed() {}
 
-var _ = []any{wrongName, noReason, stale, crossCheck, malformed}
+// Pinned to an outdated revision: the annotation is rotten — it stops
+// suppressing (the diagnostic survives) and demands a re-audit.
+func rottenPin() time.Time {
+	//acclint:ignore determinism@0 audited before the rules tightened
+	return time.Now()
+}
+
+// The revision pin does not parse: the annotation errors and the
+// diagnostic survives.
+func badPin() time.Time {
+	//acclint:ignore determinism@x the pin is not a number
+	return time.Now()
+}
+
+var _ = []any{wrongName, noReason, stale, crossCheck, malformed, rottenPin, badPin}

@@ -16,4 +16,12 @@ func trailing() time.Time {
 	return time.Now() //acclint:ignore determinism fixture exercising the same-line form
 }
 
-var _ = []any{above, trailing}
+// pinned carries a revision pin audited against the current determinism
+// rev: it suppresses exactly like an unpinned annotation until the
+// checker's Rev moves, at which point it rots loudly.
+func pinned() time.Time {
+	//acclint:ignore determinism@1 fixture exercising a current-revision pin
+	return time.Now()
+}
+
+var _ = []any{above, trailing, pinned}

@@ -1,0 +1,77 @@
+// Package snapcover_bad seeds the failure snapcover exists to catch:
+// fields dropped SYMMETRICALLY from both the save and load sides, so the
+// codec stays aligned (codecsym is silent) but a restored object diverges
+// from the cold run the first time the field matters.
+package snapcover_bad
+
+// Writer and Reader are the fixture's own codec stream types; the test
+// config points CodecWriterType/CodecReaderType at them.
+type Writer struct{}
+
+func (w *Writer) Tag(string)  {}
+func (w *Writer) I64(int64)   {}
+func (w *Writer) Int(int)     {}
+func (w *Writer) F64(float64) {}
+
+type Reader struct{ err error }
+
+func (r *Reader) Expect(string) {}
+func (r *Reader) I64() int64    { return 0 }
+func (r *Reader) Int() int      { return 0 }
+func (r *Reader) F64() float64  { return 0 }
+func (r *Reader) Err() error    { return r.err }
+
+// flow drops acked from both halves of an otherwise symmetric pair: the
+// stream verifies, but every restore silently zeroes the ack counter.
+type flow struct {
+	sent  int64
+	acked int64
+	rate  float64
+}
+
+func (f *flow) SaveState(w *Writer) {
+	w.Tag("flow")
+	w.I64(f.sent)
+	w.F64(f.rate)
+}
+
+func (f *flow) RestoreState(r *Reader) {
+	r.Expect("flow")
+	f.sent = r.I64()
+	f.rate = r.F64()
+}
+
+// params is serialized through a configured save helper
+// (Config.SnapSaveFuncs names saveParams): the completeness obligation
+// binds to the named-struct parameter, and dropped is missing from both
+// sides.
+type params struct {
+	kmin    int
+	kmax    int
+	dropped int
+}
+
+func saveParams(w *Writer, p *params) {
+	w.Int(p.kmin)
+	w.Int(p.kmax)
+}
+
+func loadParams(r *Reader, p *params) {
+	p.kmin = r.Int()
+	p.kmax = r.Int()
+}
+
+// device is the tagged root that pairs the helper halves.
+type device struct {
+	p params
+}
+
+func (d *device) SaveState(w *Writer) {
+	w.Tag("device")
+	saveParams(w, &d.p)
+}
+
+func (d *device) RestoreState(r *Reader) {
+	r.Expect("device")
+	loadParams(r, &d.p)
+}

@@ -26,6 +26,9 @@ type TracerGuard struct{}
 // Name implements Checker.
 func (TracerGuard) Name() string { return "tracerguard" }
 
+// Rev is the audit revision for //acclint:ignore tracerguard@rev pins.
+func (TracerGuard) Rev() int { return 1 }
+
 // Check implements Checker.
 func (TracerGuard) Check(prog *Program, cfg *Config) []Diagnostic {
 	var diags []Diagnostic

@@ -23,12 +23,15 @@ func (f EndpointFunc) Handle(pkt *Packet) { f(pkt) }
 // through Send; inbound packets are dispatched to the Endpoint registered
 // for their flow.
 type Host struct {
-	id   int
+	id int
+	//acclint:ignore snapcover construction identity (topology naming); not part of dynamic state
 	name string
 	net  *Network
+	//acclint:ignore snapcover per-node stream wrapper; Network.SaveState saves each stream's draw count and restore fast-forwards it
 	rng  *rand.Rand // per-node stream keyed on (seed, id); see Network.nodeRng
 	Port *Port
 
+	//acclint:ignore snapcover transport registration; restore resets it (ResetEndpoints) and the rebuilt transports re-register
 	endpoints map[FlowID]Endpoint
 
 	// PauseHooks are notified when the NIC's pause state changes, letting

@@ -18,7 +18,8 @@ type Node interface {
 // Network owns the event queue, the node registry, the RNG, and the wiring
 // between ports. One Network is one independent, deterministic simulation.
 type Network struct {
-	Q   *eventq.Queue
+	Q *eventq.Queue
+	//acclint:ignore snapcover wrapper over rootSrc; the saved draw count fast-forwards the source, reproducing the stream
 	Rng *rand.Rand
 
 	// Tracer receives structured observability events (drops, marks, PFC,
@@ -27,6 +28,7 @@ type Network struct {
 	// zero-allocation hot-path guarantees. A non-nil Tracer may be shared
 	// between Networks running on different goroutines (it locks
 	// internally).
+	//acclint:ignore snapcover observability wiring, shareable across Networks; re-attached at construction
 	Tracer *obs.Tracer
 
 	// SyncWindow, when nonzero, makes RunUntil/RunFor drive the queue in
@@ -36,8 +38,10 @@ type Network struct {
 	// way, so results are bit-identical; the field lets a sequential run
 	// mirror a sharded run's clock trajectory (`accsim -shards N`), which
 	// the golden tests use to prove the windowed driver perturbs nothing.
+	//acclint:ignore snapcover driver cadence config, not simulation state; set at construction
 	SyncWindow simtime.Duration
 
+	//acclint:ignore snapcover construction config; restore requires a Network built from the same seed (RNG derivation depends on it)
 	seed     int64
 	nodes    []Node
 	nextFlow FlowID

@@ -13,7 +13,9 @@ import (
 // the telemetry counters ACC's collector reads (§4.1: total bytes sent,
 // number of ECN-marked packets, egress queue depth).
 type EgressQueue struct {
-	Prio   int
+	//acclint:ignore snapcover construction config (queue identity)
+	Prio int
+	//acclint:ignore snapcover construction config (DWRR share)
 	Weight int // DWRR weight; bandwidth share is Weight / sum(Weights)
 
 	ECNEnabled bool
@@ -23,6 +25,7 @@ type EgressQueue struct {
 	// may keep queued here; senders use CanInject/WhenReady to pace into the
 	// NIC the way per-QP rate limiters share a real NIC port. Zero means
 	// unlimited (switch egress queues).
+	//acclint:ignore snapcover construction config (NIC pacing bound)
 	InjectLimit int
 
 	pkts    []*Packet // FIFO; head at index head
@@ -30,6 +33,7 @@ type EgressQueue struct {
 	bytes   int
 	waiters []Waiter // FIFO; head at index whead
 	whead   int
+	//acclint:ignore snapcover transient within one synchronous wakeWaiters call; false at every event boundary, and snapshots happen only between events
 	serving bool // a waiter is being served: it may inject past the queue
 
 	// restoreWaiters holds snapshot waiter identities between a port
@@ -113,20 +117,25 @@ func (q *EgressQueue) pop() *Packet {
 // Port is one direction-pair attachment point of a node: it owns the egress
 // queues and the transmitter that serializes packets onto the attached link.
 type Port struct {
+	//acclint:ignore snapcover construction wiring (owning node)
 	Owner Node
-	Index int   // port index within the owner
-	Peer  *Port // remote end of the link
+	//acclint:ignore snapcover construction wiring (port slot)
+	Index int // port index within the owner
+	//acclint:ignore snapcover construction wiring (link far end)
+	Peer *Port // remote end of the link
 
-	Bandwidth simtime.Rate     // line rate of the attached link
-	Delay     simtime.Duration // one-way propagation delay
+	Bandwidth simtime.Rate // line rate of the attached link
+	//acclint:ignore snapcover construction config (link propagation)
+	Delay simtime.Duration // one-way propagation delay
 
 	Queues []*EgressQueue
 
-	net     *Network
-	busy    bool
-	down    bool
-	paused  [NumPrio]bool
-	rr      int // DWRR round-robin pointer
+	net    *Network
+	busy   bool
+	down   bool
+	paused [NumPrio]bool
+	rr     int // DWRR round-robin pointer
+	//acclint:ignore snapcover derived at construction from queue weights
 	quantum int // base DWRR quantum in bytes (scaled by queue weight)
 
 	// remote, when non-nil, marks the far end of this port's link as living
@@ -141,6 +150,7 @@ type Port struct {
 	// so same-nanosecond arrival ordering is identical in every engine. txSeq
 	// wraps at 2^32, which only matters if that many packets of one link are
 	// pending at one instant — impossible by orders of magnitude.
+	//acclint:ignore snapcover derived wiring: identifies the receiving (node, port) of the link, constant for a given topology
 	rxStream uint32
 	txSeq    uint32
 

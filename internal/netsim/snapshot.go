@@ -450,7 +450,7 @@ func (n *Network) ResolveWaiters(resolve func(kind uint8, flow FlowID) Waiter) e
 // live transport objects.
 func (h *Host) EndpointFlows() []FlowID {
 	out := make([]FlowID, 0, len(h.endpoints))
-	//acclint:ignore determinism key collection followed by sort is iteration-order-independent
+	//acclint:ignore determinism@1 key collection followed by sort is iteration-order-independent
 	for f := range h.endpoints {
 		out = append(out, f)
 	}

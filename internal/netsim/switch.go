@@ -50,16 +50,20 @@ func DefaultSwitchConfig(name string) SwitchConfig {
 // Switch is a shared-buffer output-queued switch with per-priority egress
 // queues, WRED/ECN marking, PFC, and ECMP forwarding.
 type Switch struct {
-	id   int
+	id int
+	//acclint:ignore snapcover construction identity (topology naming); not part of dynamic state
 	name string
 	net  *Network
-	rng  *rand.Rand // per-node stream keyed on (seed, id); see Network.nodeRng
+	//acclint:ignore snapcover per-node stream wrapper; Network.SaveState saves each stream's draw count and restore fast-forwards it
+	rng *rand.Rand // per-node stream keyed on (seed, id); see Network.nodeRng
 
 	Ports []*Port
 
+	//acclint:ignore snapcover construction config
 	cfg SwitchConfig
 
 	// routes maps destination host id -> candidate egress ports (ECMP set).
+	//acclint:ignore snapcover ECMP routing wiring, rebuilt by topology construction
 	routes map[int][]*Port
 
 	// Shared-buffer accounting for PFC: bytes resident per (ingress port,
@@ -226,7 +230,7 @@ func (s *Switch) Receive(pkt *Packet, in *Port) {
 
 	ports, ok := s.routes[pkt.Dst]
 	if !ok || len(ports) == 0 {
-		//acclint:ignore hotpath a route miss is a fatal topology bug; the Sprintf runs only on the panic path
+		//acclint:ignore hotpath@1 a route miss is a fatal topology bug; the Sprintf runs only on the panic path
 		panic(fmt.Sprintf("netsim: switch %s has no route to host %d", s.name, pkt.Dst))
 	}
 	out := s.ecmpPick(ports, pkt.Flow)

@@ -162,7 +162,7 @@ func (r *Run) Begin(experiment string, seed int64, scale float64, config map[str
 		Seed:       seed,
 		Scale:      scale,
 		Config:     config,
-		//acclint:ignore determinism wall-clock run metadata for humans, never read back into simulation state
+		//acclint:ignore determinism@1 wall-clock run metadata for humans, never read back into simulation state
 		StartedAt: time.Now().UTC(),
 	}
 	r.engines = nil
@@ -199,7 +199,7 @@ func (r *Run) Finish() {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	//acclint:ignore determinism wall-clock run metadata for humans, never read back into simulation state
+	//acclint:ignore determinism@1 wall-clock run metadata for humans, never read back into simulation state
 	r.man.WallTimeS = time.Since(r.man.StartedAt).Seconds()
 	r.man.Finished = true
 	r.man.Networks = len(r.engines)

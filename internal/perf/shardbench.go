@@ -74,6 +74,7 @@ func shardPlan(o ShardOptions, cfg topo.Config) *psim.Plan {
 	p := psim.NewPlan(cfg.HostBW)
 	for l := 0; l < o.Leaves; l++ {
 		for h := 0; h < o.HostsPerLeaf; h++ {
+			//acclint:ignore barriermut pre-apply plan construction: the plan is private to this builder until Apply
 			p.Flows = append(p.Flows, psim.FlowSpec{
 				Src:  psim.HostRef{Leaf: l, Host: h},
 				Dst:  psim.HostRef{Leaf: (l + 1) % o.Leaves, Host: h},

@@ -30,7 +30,8 @@ type HybridState struct {
 	// Eng is the hybrid fast-forward engine driving this instantiation.
 	Eng *hybrid.Engine
 
-	e    *Engine
+	e *Engine
+	//acclint:ignore snapcover derived topology view: RestoreApplied rebuilds the mesh from the fabric before reconstructing HybridState, mirroring ApplyHybrid's construction order
 	mesh *hybrid.Mesh
 	p    *Plan
 	res  *Applied

@@ -13,11 +13,13 @@ import (
 // shard count, because barriers fall at identical virtual times regardless
 // of K.
 type Sampler struct {
+	//acclint:ignore snapcover construction config (sampling cadence)
 	Period simtime.Duration
 
 	Times []simtime.Time
 	Gbps  []float64
 
+	//acclint:ignore snapcover construction wiring (sampled host ports)
 	ports  []*netsim.Port
 	last   uint64
 	lastT  simtime.Time

@@ -166,6 +166,7 @@ type Applied struct {
 	// original (at, seq) because construction order is deterministic),
 	// clears the queues, and re-inserts the still-pending ones via
 	// RestorePending.
+	//acclint:ignore snapcover rebuilt by construction (same deterministic handles) and re-armed by RestorePending, restore step 3 - not part of the codec stream
 	evs []*eventq.Event
 }
 

@@ -103,6 +103,7 @@ func DefaultAgentConfig(stateDim, numActions int) AgentConfig {
 
 // Agent is a (Double-)DQN learner.
 type Agent struct {
+	//acclint:ignore snapcover construction config; restore overlays onto an agent built with the same AgentConfig
 	Cfg    AgentConfig
 	Eval   *MLP // θ: evaluation network
 	Target *MLP // θ': target network

@@ -18,7 +18,9 @@ import (
 // can re-arm the pooled event at exactly the position it held in the
 // uninterrupted run (see snapshot.go).
 type QueueMonitor struct {
-	Queue  *netsim.EgressQueue
+	//acclint:ignore snapcover construction wiring (monitored queue)
+	Queue *netsim.EgressQueue
+	//acclint:ignore snapcover construction config (tick cadence)
 	Period simtime.Duration
 	Series Series
 
@@ -62,7 +64,9 @@ func (m *QueueMonitor) Stop() { m.stopped = true }
 // utilization time series in [0,1]. Like QueueMonitor, it schedules its
 // ticks on the typed-event fast path with a pre-bound method value.
 type ThroughputMeter struct {
-	Port   *netsim.Port
+	//acclint:ignore snapcover construction wiring (metered port)
+	Port *netsim.Port
+	//acclint:ignore snapcover construction config (tick cadence)
 	Period simtime.Duration
 	Series Series // utilization per period
 

@@ -68,7 +68,7 @@ func (f *Flow) SaveState(w *codec.Writer) {
 	w.U64(f.Timeouts)
 	w.U64(f.ECEAcks)
 	seqs := make([]int64, 0, len(f.sendTimes))
-	//acclint:ignore determinism key collection followed by sort is iteration-order-independent
+	//acclint:ignore determinism@1 key collection followed by sort is iteration-order-independent
 	for s := range f.sendTimes {
 		seqs = append(seqs, s)
 	}
@@ -136,7 +136,7 @@ func (rx *Receiver) SaveState(w *codec.Writer) {
 	w.I64(int64(rx.Start))
 	w.I64(rx.rcvNext)
 	seqs := make([]int64, 0, len(rx.ooo))
-	//acclint:ignore determinism key collection followed by sort is iteration-order-independent
+	//acclint:ignore determinism@1 key collection followed by sort is iteration-order-independent
 	for s := range rx.ooo {
 		seqs = append(seqs, s)
 	}
